@@ -1,0 +1,54 @@
+"""Ablation: skew and stragglers across queries (explains Fig. 11 / Q5).
+
+The paper attributes Q5's limited scalability to the "last straggler"
+effect.  This bench measures, per query on LJ, the per-worker Leapfrog
+work distribution of HCubeJ and reports the imbalance (max/mean), the
+Gini coefficient and the straggler slowdown factor.
+"""
+
+import pytest
+
+from repro.distributed import skew_report, straggler_slowdown
+from repro.engines import HCubeJ, run_engine_safely
+
+from .common import (
+    WORK_BUDGET,
+    bench_cluster,
+    fmt_table,
+    load_case,
+    report,
+)
+
+QUERIES = ["Q1", "Q2", "Q4", "Q5", "Q6"]
+
+
+def test_ablation_skew(benchmark):
+    cluster = bench_cluster()
+
+    def run():
+        rows = []
+        for qname in QUERIES:
+            query, db = load_case("lj", qname)
+            result = run_engine_safely(
+                HCubeJ(work_budget=WORK_BUDGET * 4), query, db, cluster)
+            if not result.ok or not result.extra.get("worker_work"):
+                rows.append([qname, "-", "-", "-"])
+                continue
+            work = result.extra["worker_work"]
+            rep = skew_report(work)
+            rows.append([qname,
+                         f"{rep.imbalance:.2f}",
+                         f"{rep.gini:.2f}",
+                         f"{straggler_slowdown(work):.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = fmt_table(
+        ["query", "imbalance (max/mean)", "gini", "straggler slowdown"],
+        rows,
+        title="Ablation — per-worker computation skew on LJ (HCubeJ)")
+    report("ablation_skew", text)
+    measured = [r for r in rows if r[1] != "-"]
+    assert measured, "no query produced a skew measurement"
+    # Some skew must exist on a power-law graph (imbalance > 1).
+    assert any(float(r[1]) > 1.0 for r in measured)

@@ -1,0 +1,49 @@
+"""Fig. 1(a): one-round vs multi-round joins — shuffled tuples.
+
+The paper plots the number of shuffled tuples of a multi-round binary
+join (SparkSQL) against the one-round HCubeJ on (LJ, Q5) and (LJ, Q6):
+the multi-round engine shuffles orders of magnitude more because it moves
+every intermediate result.
+"""
+
+import pytest
+
+from repro.engines import HCubeJ, SparkSQLJoin, run_engine_safely
+
+from .common import (
+    WORK_BUDGET,
+    bench_cluster,
+    fmt_table,
+    load_case,
+    report,
+)
+
+CASES = ["Q5", "Q6"]
+
+
+@pytest.mark.parametrize("query_name", CASES)
+def test_fig01a_shuffled_tuples(benchmark, query_name):
+    query, db = load_case("lj", query_name)
+    cluster = bench_cluster()
+
+    def run():
+        multi = run_engine_safely(
+            SparkSQLJoin(budget_tuples=None), query, db, cluster)
+        one = run_engine_safely(
+            HCubeJ(work_budget=WORK_BUDGET), query, db, cluster)
+        return multi, one
+
+    multi, one = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["Multi-Round (SparkSQL)", f"{multi.shuffled_tuples}",
+         multi.failure or "ok"],
+        ["One-Round (HCubeJ)", f"{one.shuffled_tuples}",
+         one.failure or "ok"],
+    ]
+    text = fmt_table(["method", "shuffled tuples", "status"], rows,
+                     title=f"Fig. 1(a) — (LJ, {query_name})")
+    report(f"fig01a_{query_name}", text)
+    if multi.ok and one.ok:
+        assert multi.shuffled_tuples > one.shuffled_tuples, (
+            "one-round must shuffle fewer tuples than multi-round on "
+            "complex joins")

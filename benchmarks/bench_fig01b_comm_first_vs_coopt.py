@@ -1,0 +1,54 @@
+"""Fig. 1(b): Communication-First vs Co-Opt cost split on (LJ, Q5/Q6).
+
+The paper shows the comm-first strategy (HCubeJ) achieving small
+communication but huge computation, while co-optimization (ADJ) trades a
+little communication and pre-computing for a large computation saving.
+"""
+
+import pytest
+
+from repro.engines import ADJ, HCubeJ, run_engine_safely
+
+from .common import (
+    BENCH_SAMPLES,
+    WORK_BUDGET,
+    bench_cluster,
+    fmt_seconds,
+    fmt_table,
+    load_case,
+    report,
+)
+
+CASES = ["Q5", "Q6"]
+
+
+@pytest.mark.parametrize("query_name", CASES)
+def test_fig01b_cost_split(benchmark, query_name):
+    query, db = load_case("lj", query_name)
+    cluster = bench_cluster()
+
+    def run():
+        comm_first = run_engine_safely(
+            HCubeJ(work_budget=WORK_BUDGET), query, db, cluster)
+        co_opt = run_engine_safely(
+            ADJ(num_samples=BENCH_SAMPLES, work_budget=WORK_BUDGET),
+            query, db, cluster)
+        return comm_first, co_opt
+
+    comm_first, co_opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, r in (("Comm-First", comm_first), ("Co-Opt", co_opt)):
+        b = r.breakdown
+        rows.append([
+            label,
+            fmt_seconds(b.communication, r.failure),
+            fmt_seconds(b.precompute + b.communication, r.failure),
+            fmt_seconds(b.computation, r.failure),
+            fmt_seconds(b.total, r.failure),
+        ])
+    text = fmt_table(
+        ["strategy", "Comm (s)", "Pre+Comm (s)", "Comp (s)", "Total (s)"],
+        rows, title=f"Fig. 1(b) — (LJ, {query_name}), model-seconds")
+    report(f"fig01b_{query_name}", text)
+    if comm_first.ok and co_opt.ok and co_opt.extra.get("precomputed"):
+        assert co_opt.breakdown.computation < comm_first.breakdown.computation

@@ -1,0 +1,68 @@
+"""Fig. 6: share of intermediate tuples at the last hypertree nodes.
+
+The paper shows that for Q5/Q6 the extensions into the n-th and (n-1)-th
+traversed hypertree nodes dominate the intermediate tuples produced by
+Leapfrog — the observation motivating Algorithm 2's reverse-order greedy.
+"""
+
+import pytest
+
+from repro.data import dataset_names
+from repro.ghd import optimal_hypertree
+from repro.wcoj import leapfrog_join
+
+from .common import BENCH_SCALE, WORK_BUDGET, fmt_table, load_case, report
+
+QUERIES = ["Q5", "Q6"]
+#: Smaller scale so the dense EN/OK analogues finish within budget.
+FIG6_SCALE_FACTOR = 0.5
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_fig06_level_shares(benchmark, query_name):
+    scale = BENCH_SCALE * FIG6_SCALE_FACTOR
+    tree = optimal_hypertree(load_case("wb", query_name, scale)[0])
+    traversal = next(tree.traversal_orders())
+    order = tree.attribute_order(traversal)
+    bags = {b.index: b for b in tree.bags}
+    # Depth ranges per traversed node under this attribute order.
+    node_depths: list[list[int]] = []
+    seen: set[str] = set()
+    for idx in traversal:
+        depths = [d for d, a in enumerate(order)
+                  if a in bags[idx].attributes and a not in seen]
+        seen |= {order[d] for d in depths}
+        node_depths.append(depths)
+
+    def run():
+        rows = []
+        for ds in dataset_names():
+            query, db = load_case(ds, query_name, scale)
+            try:
+                stats = leapfrog_join(query, db, order,
+                                      budget=WORK_BUDGET).stats
+            except Exception:
+                rows.append([ds.upper(), "-", "-", "-"])
+                continue
+            total = max(1, stats.total_tuples)
+            shares = [sum(stats.level_tuples[d] for d in depths) / total
+                      for depths in node_depths]
+            nth = shares[-1]
+            n1th = shares[-2] if len(shares) >= 2 else 0.0
+            rest = max(0.0, 1.0 - nth - n1th)
+            rows.append([ds.upper(), f"{nth:.3f}", f"{n1th:.3f}",
+                         f"{rest:.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = fmt_table(
+        ["dataset", "(n)th", "(n-1)th", "rest"],
+        rows,
+        title=(f"Fig. 6 — {query_name}: fraction of intermediate tuples "
+               f"by traversed node (ord={'<'.join(order)})"))
+    report(f"fig06_{query_name}", text)
+    # Paper's claim: the last two nodes dominate on most datasets.
+    dominated = sum(1 for r in rows if r[1] != "-"
+                    and float(r[1]) + float(r[2]) > 0.5)
+    measured = sum(1 for r in rows if r[1] != "-")
+    assert measured == 0 or dominated >= measured / 2

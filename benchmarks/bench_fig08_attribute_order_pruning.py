@@ -1,0 +1,105 @@
+"""Fig. 8: effectiveness of attribute-order pruning.
+
+For Q4-Q6 over every dataset the paper compares the intermediate tuples
+produced by Leapfrog under:
+
+- Invalid-Max  — worst order *outside* the hypertree-valid space,
+- Valid-Max    — worst order inside the valid space,
+- All-Selected — the order HCubeJ's heuristic picks from all orders,
+- Valid-Selected — the order ADJ picks from the valid space.
+
+Claim: valid orders beat invalid ones, and selecting within the valid
+space beats selecting over everything.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import CardinalityEstimator, optimize_plan
+from repro.data import dataset_names
+from repro.engines import attach_degree_order
+from repro.ghd import optimal_hypertree
+from repro.wcoj import leapfrog_join
+
+from .common import (
+    BENCH_SAMPLES,
+    bench_cluster,
+    fmt_table,
+    load_case,
+    report,
+)
+
+QUERIES = ["Q4", "Q5", "Q6"]
+#: Order enumeration is 120 Leapfrog runs per test-case; use a smaller
+#: scale than the other benches.
+FIG8_SCALE_FACTOR = 0.3
+#: Per-order work cap; bad orders are cut off and report their partial
+#: intermediate count (a lower bound — the paper's frame-top bars).
+PER_ORDER_BUDGET = 250_000
+
+
+def _intermediate(query, db, order) -> tuple[int, bool]:
+    """(intermediate tuple count, was the run cut off by the budget?)"""
+    from repro.errors import BudgetExceeded
+    from repro.wcoj import LeapfrogStats
+
+    stats = LeapfrogStats()
+    try:
+        leapfrog_join(query, db, order, budget=PER_ORDER_BUDGET,
+                      stats=stats)
+    except BudgetExceeded:
+        return stats.total_intermediate, True
+    return stats.total_intermediate, False
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_fig08_order_pruning(benchmark, query_name):
+    from .common import BENCH_SCALE
+    scale = BENCH_SCALE * FIG8_SCALE_FACTOR
+    tree = optimal_hypertree(load_case("wb", query_name, scale)[0])
+
+    def run():
+        rows = []
+        capped_flags = []
+        for ds in dataset_names():
+            query, db = load_case(ds, query_name, scale)
+            valid = set(tree.valid_attribute_orders())
+            invalid_max = valid_max = 0
+            any_capped = False
+            for order in itertools.permutations(query.attributes):
+                tuples, capped = _intermediate(query, db, order)
+                any_capped |= capped
+                if order in valid:
+                    valid_max = max(valid_max, tuples)
+                else:
+                    invalid_max = max(invalid_max, tuples)
+            all_selected, _ = _intermediate(
+                query, db, attach_degree_order(query, db))
+            est = CardinalityEstimator(db, num_samples=BENCH_SAMPLES,
+                                       seed=0)
+            plan = optimize_plan(query, db, bench_cluster(),
+                                 hypertree=tree, estimator=est).plan
+            valid_selected, _ = _intermediate(query, db,
+                                              plan.attribute_order)
+            rows.append([ds.upper(), invalid_max, valid_max, all_selected,
+                         valid_selected])
+            capped_flags.append(any_capped)
+        return rows, capped_flags
+
+    rows, capped_flags = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = fmt_table(
+        ["dataset", "Invalid-Max", "Valid-Max", "All-Selected",
+         "Valid-Selected"],
+        [[str(c) + ("*" if i == 0 and capped else "")
+          for i, c in enumerate(r)]
+         for r, capped in zip(rows, capped_flags)],
+        title=(f"Fig. 8 — {query_name}: intermediate tuples by "
+               f"attribute-order class (scale={scale:g}; '*' = some "
+               "orders were budget-capped)"))
+    report(f"fig08_{query_name}", text)
+    # Paper's headline: the worst valid order never beats the worst
+    # invalid order.  Capped rows compare lower bounds, so allow slack.
+    for r, capped in zip(rows, capped_flags):
+        slack = 1.5 if capped else 1.0
+        assert r[2] <= r[1] * slack, f"Valid-Max > Invalid-Max on {r[0]}"

@@ -1,0 +1,51 @@
+"""Fig. 10: cost and accuracy of the sampling process on LJ.
+
+The paper sweeps the sampling budget from 2x10^2 to 10^7 on (LJ, Q4/Q5/Q6)
+and plots (a) aggregated sampling time and (b) the maximum relative
+difference D = max(est, true) / min(est, true), which converges to 1
+beyond ~10^4 samples.
+"""
+
+import time
+
+import pytest
+
+from repro.core import CardinalityEstimator
+from repro.wcoj import leapfrog_join
+
+from .common import WORK_BUDGET, fmt_table, load_case, report
+
+QUERIES = ["Q4", "Q5", "Q6"]
+BUDGETS = [20, 100, 1_000, 10_000, 100_000]
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_fig10_sampling_cost_accuracy(benchmark, query_name):
+    query, db = load_case("lj", query_name)
+    true = leapfrog_join(query, db, budget=WORK_BUDGET * 4).count
+
+    def run():
+        rows = []
+        for k in BUDGETS:
+            t0 = time.perf_counter()
+            est = CardinalityEstimator(db, num_samples=k, seed=1
+                                       ).estimate(query)
+            elapsed = time.perf_counter() - t0
+            hi = max(est.estimate, float(true), 1.0)
+            lo = max(1.0, min(est.estimate, float(true)))
+            rows.append([f"{k}", f"{elapsed:.3f}", f"{hi / lo:.3f}",
+                         "exact" if est.exact else "sampled"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = fmt_table(
+        ["samples", "time (s)", "max D", "mode"],
+        rows,
+        title=f"Fig. 10 — (LJ, {query_name}): sampling budget sweep "
+              f"(true count = {true})")
+    report(f"fig10_{query_name}", text)
+    # Convergence claim: the largest budget is at least as accurate as
+    # the smallest.
+    assert float(rows[-1][2]) <= float(rows[0][2]) + 1e-9
+    # And the largest budget should be essentially exact (D close to 1).
+    assert float(rows[-1][2]) < 1.05

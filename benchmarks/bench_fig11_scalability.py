@@ -1,0 +1,53 @@
+"""Fig. 11: ADJ speed-up when growing the cluster from 1 to 28 workers.
+
+The paper reports near-linear speed-up on Q2-Q4/Q6, limited scalability
+on the cheap Q1 (system overhead dominates) and on Q5 (skew stragglers).
+Speed-up here is model-seconds(1 worker) / model-seconds(w workers).
+"""
+
+import pytest
+
+from repro.engines import ADJ, run_engine_safely
+
+from .common import (
+    BENCH_SAMPLES,
+    WORK_BUDGET,
+    bench_cluster,
+    fmt_table,
+    load_case,
+    report,
+)
+
+QUERIES = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+WORKER_COUNTS = [1, 2, 4, 8, 16, 28]
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_fig11_speedup(benchmark, query_name):
+    query, db = load_case("lj", query_name)
+
+    def run():
+        totals = {}
+        for w in WORKER_COUNTS:
+            cluster = bench_cluster(workers=w)
+            result = run_engine_safely(
+                ADJ(num_samples=BENCH_SAMPLES, work_budget=WORK_BUDGET * 4),
+                query, db, cluster)
+            totals[w] = result.breakdown.total if result.ok else None
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = totals[WORKER_COUNTS[0]]
+    rows = []
+    for w in WORKER_COUNTS:
+        t = totals[w]
+        speedup = (base / t) if (base and t) else None
+        rows.append([str(w),
+                     f"{t:.4f}" if t is not None else "-",
+                     f"{speedup:.2f}" if speedup else "-"])
+    text = fmt_table(["workers", "total (s)", "speed-up"], rows,
+                     title=f"Fig. 11 — (LJ, {query_name}): ADJ speed-up")
+    report(f"fig11_{query_name}", text)
+    if base and totals[WORKER_COUNTS[-1]]:
+        assert totals[WORKER_COUNTS[-1]] <= base, \
+            "more workers must not be slower in model-seconds"

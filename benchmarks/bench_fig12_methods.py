@@ -1,0 +1,106 @@
+"""Fig. 12: the headline comparison of all five methods.
+
+(a)-(c): queries fixed to Q1/Q2/Q3, varying the dataset.
+(d)-(f): datasets fixed to AS/LJ/OK, varying the query Q1-Q6.
+
+Expected shape (paper): SparkSQL only survives Q1; BigJoin only Q1-Q2;
+the one-round engines handle everything, and ADJ leads via the optimized
+HCube (Q1-Q3) and co-optimization (Q4-Q6).  Failures render as '>BUDGET'
+(timeout analogue) or 'OOM'.
+"""
+
+import pytest
+
+from repro.data import dataset_names
+from repro.engines import (
+    ADJ,
+    BigJoin,
+    HCubeJ,
+    HCubeJCache,
+    SparkSQLJoin,
+    run_engine_safely,
+)
+
+from .common import (
+    BENCH_MEMORY,
+    BENCH_SAMPLES,
+    WORK_BUDGET,
+    bench_cluster,
+    fmt_seconds,
+    fmt_table,
+    load_case,
+    report,
+)
+
+#: Budgets relative to the test-case's total input tuples — the analogue
+#: of the paper's fixed 12-hour wall, which allows an (input-relative)
+#: bounded amount of intermediate materialization for every method.
+SPARKSQL_INPUT_FACTOR = 10
+BIGJOIN_INPUT_FACTOR = 8
+
+
+def engine_lineup(total_input: int):
+    return [
+        SparkSQLJoin(budget_tuples=SPARKSQL_INPUT_FACTOR * total_input),
+        BigJoin(budget_bindings=BIGJOIN_INPUT_FACTOR * total_input,
+                work_budget=WORK_BUDGET),
+        HCubeJ(work_budget=WORK_BUDGET),
+        HCubeJCache(work_budget=WORK_BUDGET),
+        ADJ(num_samples=BENCH_SAMPLES, work_budget=WORK_BUDGET),
+    ]
+
+
+def _compare(cases):
+    cluster = bench_cluster(memory_tuples=BENCH_MEMORY)
+    rows = []
+    counts = {}
+    for ds, qname in cases:
+        query, db = load_case(ds, qname)
+        total_input = sum(len(db[a.relation]) for a in query.atoms)
+        row = [f"({ds.upper()},{qname})"]
+        for engine in engine_lineup(total_input):
+            r = run_engine_safely(engine, query, db, cluster)
+            row.append(fmt_seconds(r.breakdown.total if r.ok else None,
+                                   r.failure))
+            if r.ok:
+                counts.setdefault((ds, qname), set()).add(r.count)
+        rows.append(row)
+    # Safety: all successful engines agreed on every test-case.
+    for key, vals in counts.items():
+        assert len(vals) == 1, f"count disagreement on {key}: {vals}"
+    return rows
+
+
+HEADERS = ["test-case", "SparkSQL", "BigJoin", "HCubeJ", "HCubeJ+Cache",
+           "ADJ"]
+
+
+@pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3"])
+def test_fig12_varying_dataset(benchmark, query_name):
+    cases = [(ds, query_name) for ds in dataset_names()]
+    rows = benchmark.pedantic(_compare, args=(cases,), rounds=1,
+                              iterations=1)
+    text = fmt_table(HEADERS, rows,
+                     title=f"Fig. 12({query_name}) — methods x datasets "
+                           "(model-seconds)")
+    report(f"fig12_datasets_{query_name}", text)
+
+
+@pytest.mark.parametrize("dataset", ["as", "lj", "ok"])
+def test_fig12_varying_query(benchmark, dataset):
+    cases = [(dataset, q) for q in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6")]
+    rows = benchmark.pedantic(_compare, args=(cases,), rounds=1,
+                              iterations=1)
+    text = fmt_table(HEADERS, rows,
+                     title=f"Fig. 12({dataset.upper()}) — methods x "
+                           "queries (model-seconds)")
+    report(f"fig12_queries_{dataset}", text)
+    # The paper's qualitative claim: ADJ handles at least everything the
+    # other methods handle (it completes all cases in the paper; at bench
+    # scale the 5-clique Q3 on the densest analogues may hit the work
+    # budget, which EXPERIMENTS.md documents).
+    def completed(col: int) -> int:
+        return sum(1 for r in rows if r[col] not in (">BUDGET", "OOM"))
+
+    adj_done = completed(5)
+    assert adj_done >= max(completed(c) for c in range(1, 5)), rows

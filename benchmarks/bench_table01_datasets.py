@@ -1,0 +1,31 @@
+"""Table I: dataset statistics (paper sizes and scaled analogues)."""
+
+from repro.data import DATASETS, dataset_names, load_dataset
+
+from .common import BENCH_SCALE, fmt_table, report
+
+
+def test_table01_datasets(benchmark):
+    def build():
+        rows = []
+        for key in dataset_names():
+            spec = DATASETS[key]
+            edges = load_dataset(key, scale=BENCH_SCALE)
+            rows.append([
+                key.upper(),
+                f"{spec.paper_edges / 1e6:.1f}M",
+                f"{spec.paper_size_mb:.1f}",
+                f"{edges.shape[0]}",
+                f"{spec.exponent:.2f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = fmt_table(
+        ["Dataset", "|R| (paper)", "MB (paper)",
+         f"|R| (scale={BENCH_SCALE:g})", "exponent"],
+        rows,
+        title="Table I: datasets (paper values vs scaled analogues)")
+    report("table01_datasets", text)
+    sizes = [int(r[3]) for r in rows]
+    assert sizes == sorted(sizes), "analogues must preserve size ordering"

@@ -1,0 +1,58 @@
+"""repro — reproduction of "Fast Distributed Complex Join Processing" (ADJ).
+
+Public API highlights
+---------------------
+- :mod:`repro.data` — relations, tries, databases, synthetic datasets.
+- :mod:`repro.query` — join queries, hypergraphs, the paper's Q1-Q11.
+- :mod:`repro.wcoj` — Leapfrog triejoin and sequential baselines.
+- :mod:`repro.ghd` — generalized hypertree decompositions.
+- :mod:`repro.distributed` — cluster simulator and HCube shuffles.
+- :mod:`repro.core` — the ADJ optimizer, cost model and sampler.
+- :mod:`repro.engines` — the five distributed engines compared in Sec. VII.
+- :mod:`repro.workloads` — paper test-case construction.
+"""
+
+from .core import CardinalityEstimator, Optimizer, optimize_plan
+from .data import Database, Relation, Trie
+from .distributed import Cluster, CostModelParams
+from .engines import (
+    ADJ,
+    BigJoin,
+    HCubeJ,
+    HCubeJCache,
+    SparkSQLJoin,
+    run_engine_safely,
+)
+from .ghd import optimal_hypertree
+from .query import Atom, JoinQuery, paper_query, parse_query
+from .wcoj import agm_bound, leapfrog_join
+from .workloads import graph_database_for, make_testcase
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CardinalityEstimator",
+    "Optimizer",
+    "optimize_plan",
+    "Database",
+    "Relation",
+    "Trie",
+    "Cluster",
+    "CostModelParams",
+    "ADJ",
+    "BigJoin",
+    "HCubeJ",
+    "HCubeJCache",
+    "SparkSQLJoin",
+    "run_engine_safely",
+    "optimal_hypertree",
+    "Atom",
+    "JoinQuery",
+    "paper_query",
+    "parse_query",
+    "agm_bound",
+    "leapfrog_join",
+    "graph_database_for",
+    "make_testcase",
+    "__version__",
+]

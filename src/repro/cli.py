@@ -1,0 +1,191 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro queries
+    python -m repro run lj Q5 --engine adj --scale 2e-5
+    python -m repro run wb Q1 --engine all
+    python -m repro plan lj Q5 --samples 100
+    python -m repro estimate lj Q4 --samples 500 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import CardinalityEstimator, optimize_plan
+from .data import DATASETS, dataset_names, default_scale, load_dataset
+from .distributed import Cluster
+from .engines import (
+    ADJ,
+    BigJoin,
+    HCubeJ,
+    HCubeJCache,
+    SparkSQLJoin,
+    YannakakisJoin,
+    run_engine_safely,
+)
+from .ghd import optimal_hypertree
+from .query import PAPER_QUERIES
+from .wcoj import leapfrog_join
+from .workloads import make_testcase
+
+__all__ = ["main"]
+
+_ENGINES = {
+    "sparksql": SparkSQLJoin,
+    "bigjoin": BigJoin,
+    "hcubej": HCubeJ,
+    "hcubej-cache": HCubeJCache,
+    "adj": ADJ,
+    "yannakakis": YannakakisJoin,
+}
+
+
+def _build_engine(name: str, samples: int):
+    cls = _ENGINES[name]
+    if cls is ADJ:
+        return ADJ(num_samples=samples)
+    return cls()
+
+
+def _cmd_datasets(args) -> int:
+    scale = args.scale if args.scale is not None else default_scale()
+    print(f"{'key':>4} {'paper edges':>12} {'scaled':>8}  description")
+    for key in dataset_names():
+        spec = DATASETS[key]
+        edges = load_dataset(key, scale=scale)
+        print(f"{key:>4} {spec.paper_edges:>12,} {edges.shape[0]:>8,}  "
+              f"{spec.description}")
+    return 0
+
+
+def _cmd_queries(args) -> int:
+    for name, query in PAPER_QUERIES.items():
+        print(f"{name:>4}: {query!r}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    query, db = make_testcase(args.dataset, args.query, scale=args.scale)
+    cluster = Cluster(num_workers=args.workers)
+    names = list(_ENGINES) if args.engine == "all" else [args.engine]
+    print(f"test-case ({args.dataset.upper()},{args.query}), "
+          f"{len(db[query.atoms[0].relation]):,} edges/relation, "
+          f"{cluster.num_workers} workers")
+    print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
+          f"{'comm':>8} {'comp':>8} {'total':>8}")
+    counts = set()
+    for name in names:
+        result = run_engine_safely(_build_engine(name, args.samples),
+                                   query, db, cluster)
+        if result.ok:
+            b = result.breakdown
+            print(f"{result.engine:14} {result.count:>12,} "
+                  f"{b.optimization:>8.3f} {b.precompute:>8.3f} "
+                  f"{b.communication:>8.3f} {b.computation:>8.3f} "
+                  f"{b.total:>8.3f}")
+            counts.add(result.count)
+        else:
+            print(f"{result.engine:14} {'-':>12} "
+                  f"{'FAILED (' + result.failure + ')':>44}")
+    if len(counts) > 1:
+        print(f"ERROR: engines disagree: {counts}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    query, db = make_testcase(args.dataset, args.query, scale=args.scale)
+    tree = optimal_hypertree(query)
+    print(f"query: {query!r}")
+    print(f"hypertree (fhw={tree.width:.2f}):")
+    for bag in tree.bags:
+        members = ", ".join(query.atoms[i].relation
+                            for i in bag.atom_indices)
+        print(f"  v{bag.index}: [{members}]  attrs="
+              f"{{{','.join(sorted(bag.attributes))}}}  "
+              f"width={tree.bag_widths[bag.index]:.2f}")
+    print(f"tree edges: {tree.tree_edges}")
+    estimator = CardinalityEstimator(db, num_samples=args.samples, seed=0)
+    report = optimize_plan(query, db, Cluster(num_workers=args.workers),
+                           hypertree=tree, estimator=estimator)
+    print(f"\n{report.plan.describe()}")
+    print(f"rewritten: {report.plan.rewritten_query()!r}")
+    print(f"explored {report.explored_configurations} configurations in "
+          f"{report.wall_seconds:.2f}s")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    query, db = make_testcase(args.dataset, args.query, scale=args.scale)
+    est = CardinalityEstimator(db, num_samples=args.samples,
+                               seed=args.seed).estimate(query)
+    mode = "exact (full enumeration)" if est.exact else \
+        f"{est.num_samples} samples"
+    print(f"estimate: {est.estimate:,.0f}  ({mode}, "
+          f"|val({est.attribute})|={est.val_size})")
+    if not est.exact:
+        print(f"Lemma 2 error bound @95%: +/- {est.error_bound(0.05):,.0f}")
+    if args.check:
+        true = leapfrog_join(query, db).count
+        hi = max(est.estimate, float(true), 1.0)
+        lo = max(1.0, min(est.estimate, float(true)))
+        print(f"true: {true:,}  (D = {hi / lo:.3f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fast Distributed Complex Join "
+                    "Processing' (ADJ, ICDE 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset analogues").add_argument(
+        "--scale", type=float, default=None)
+    sub.add_parser("queries", help="list the paper's query catalog")
+
+    def common(p):
+        p.add_argument("dataset", choices=dataset_names())
+        p.add_argument("query", type=str.upper,
+                       choices=sorted(PAPER_QUERIES))
+        p.add_argument("--scale", type=float, default=2e-5,
+                       help="dataset scale (default 2e-5)")
+        p.add_argument("--workers", type=int, default=8)
+        p.add_argument("--samples", type=int, default=100)
+
+    run_p = sub.add_parser("run", help="run engines on a test-case")
+    common(run_p)
+    run_p.add_argument("--engine", default="adj",
+                       choices=["all", *_ENGINES])
+
+    plan_p = sub.add_parser("plan", help="show the ADJ plan for a "
+                                         "test-case")
+    common(plan_p)
+
+    est_p = sub.add_parser("estimate", help="estimate a cardinality")
+    common(est_p)
+    est_p.add_argument("--seed", type=int, default=0)
+    est_p.add_argument("--check", action="store_true",
+                       help="also compute the true count")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "queries": _cmd_queries,
+        "run": _cmd_run,
+        "plan": _cmd_plan,
+        "estimate": _cmd_estimate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Algorithm 2: the ADJ plan optimizer.
+
+The optimizer fixes the traversal order in *reverse* (last bag first,
+because the deepest Leapfrog levels dominate computation — Fig. 6) and,
+at every step, compares pre-computing the considered bag against leaving
+it as raw relations:
+
+    cost'  = costC(C)            + costE^i(C, O')           (keep raw)
+    cost'' = costM(v) + costC(C+v) + costE^i(C+v, O')       (pre-compute)
+
+Only suffix positions are priced during the search (the costE of earlier
+bags is identical across candidates at step i, per the paper's remark
+after Alg. 2).  The loop runs O(n*^2) cost evaluations (Lemma 1), which
+the returned :class:`OptimizerReport` counts so tests can check the bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..data.database import Database
+from ..distributed.cluster import Cluster
+from ..errors import PlanError
+from ..ghd.decomposition import Hypertree, optimal_hypertree
+from ..query.query import JoinQuery
+from .cost_model import CostModel
+from .plan import QueryPlan
+from .sampling import CardinalityEstimator
+
+__all__ = ["OptimizerReport", "Optimizer", "optimize_plan",
+           "communication_first_plan"]
+
+
+@dataclass
+class OptimizerReport:
+    """The chosen plan plus how much work choosing it took."""
+
+    plan: QueryPlan
+    explored_configurations: int = 0
+    sampling_work: int = 0
+    wall_seconds: float = 0.0
+    cost_trace: list[tuple[int, bool, float]] = field(default_factory=list)
+
+
+class Optimizer:
+    """Algorithm 2 over a fixed query/database/cluster triple."""
+
+    def __init__(self, query: JoinQuery, db: Database, cluster: Cluster,
+                 hypertree: Hypertree | None = None,
+                 estimator: CardinalityEstimator | None = None,
+                 hcube_impl: str = "pull"):
+        self.query = query
+        self.db = db
+        self.cluster = cluster
+        self.hypertree = hypertree or optimal_hypertree(query)
+        self.estimator = estimator or CardinalityEstimator(db)
+        self.cost_model = CostModel(query, db, cluster, self.hypertree,
+                                    self.estimator, hcube_impl=hcube_impl)
+
+    def _removal_keeps_connected(self, remaining: set[int], v: int) -> bool:
+        """Line 6 of Alg. 2: V \\ {v} must stay connected in T."""
+        rest = remaining - {v}
+        if len(rest) <= 1:
+            return True
+        tree = self.hypertree
+        start = next(iter(rest))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for w in tree.neighbors(u) & rest:
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return seen == rest
+
+    def run(self) -> OptimizerReport:
+        t0 = time.perf_counter()
+        tree = self.hypertree
+        model = self.cost_model
+        bags = {b.index: b for b in tree.bags}
+        remaining: set[int] = set(bags)
+        chosen_pre: frozenset[int] = frozenset()
+        reverse_order: list[int] = []
+        explored = 0
+        trace: list[tuple[int, bool, float]] = []
+
+        while remaining:
+            best: tuple[float, int, bool] | None = None
+            for v in sorted(remaining):
+                if not self._removal_keeps_connected(remaining, v):
+                    continue
+                earlier = remaining - {v}
+                # cost' — leave v's relations raw.
+                cost_keep = (model.cost_c(chosen_pre)
+                             + model.cost_e(v, chosen_pre, earlier))
+                explored += 1
+                if best is None or cost_keep < best[0]:
+                    best = (cost_keep, v, False)
+                # cost'' — pre-compute v (multi-atom bags only).
+                if not bags[v].is_single_atom and v not in chosen_pre:
+                    with_v = chosen_pre | {v}
+                    cost_pre = (model.cost_m(v)
+                                + model.cost_c(with_v)
+                                + model.cost_e(v, with_v, earlier))
+                    explored += 1
+                    if cost_pre < best[0]:
+                        best = (cost_pre, v, True)
+            if best is None:
+                raise PlanError(
+                    "no bag can be removed while keeping the hypertree "
+                    "connected — malformed hypertree?")
+            cost, v_star, precompute = best
+            trace.append((v_star, precompute, cost))
+            if precompute:
+                chosen_pre = chosen_pre | {v_star}
+            reverse_order.append(v_star)
+            remaining.discard(v_star)
+
+        traversal = tuple(reversed(reverse_order))
+        attribute_order = tree.attribute_order(traversal)
+        plan = QueryPlan(
+            query=self.query,
+            hypertree=tree,
+            traversal=traversal,
+            precompute=chosen_pre,
+            attribute_order=attribute_order,
+            estimated_cost=model.plan_cost(chosen_pre, traversal),
+        )
+        return OptimizerReport(
+            plan=plan,
+            explored_configurations=explored,
+            sampling_work=self.estimator.total_work,
+            wall_seconds=time.perf_counter() - t0,
+            cost_trace=trace,
+        )
+
+
+def optimize_plan(query: JoinQuery, db: Database, cluster: Cluster,
+                  **kwargs) -> OptimizerReport:
+    """One-shot convenience wrapper around :class:`Optimizer`."""
+    return Optimizer(query, db, cluster, **kwargs).run()
+
+
+def communication_first_plan(query: JoinQuery, db: Database,
+                             cluster: Cluster,
+                             hypertree: Hypertree | None = None
+                             ) -> QueryPlan:
+    """The HCubeJ strategy: no pre-computation, default traversal order.
+
+    Used as the paper's Communication-First baseline in Fig. 1(b) and
+    Tables II-IV.
+    """
+    tree = hypertree or optimal_hypertree(query)
+    traversal = next(tree.traversal_orders())
+    return QueryPlan(
+        query=query,
+        hypertree=tree,
+        traversal=traversal,
+        precompute=frozenset(),
+        attribute_order=tree.attribute_order(traversal),
+    )

@@ -1,0 +1,32 @@
+"""Data substrate: relations, tries, databases, synthetic datasets."""
+
+from .database import Database
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    default_scale,
+    generate_erdos_renyi_edges,
+    generate_power_law_edges,
+    load_dataset,
+    load_graph_relation,
+)
+from .relation import Relation, lexsorted_rows, row_group_ids
+from .trie import Trie, TrieIterator
+
+__all__ = [
+    "Database",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "default_scale",
+    "generate_erdos_renyi_edges",
+    "generate_power_law_edges",
+    "load_dataset",
+    "load_graph_relation",
+    "Relation",
+    "Trie",
+    "TrieIterator",
+    "lexsorted_rows",
+    "row_group_ids",
+]

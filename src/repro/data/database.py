@@ -1,0 +1,90 @@
+"""Database: a catalog of named relations plus memory accounting."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SchemaError
+from .relation import Relation
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of relations, addressed by name.
+
+    The paper's database ``D`` (Sec. II).  Construction of per-query
+    databases (one relation per query atom, each a copy of a graph) lives
+    in :mod:`repro.workloads`.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    # -- container protocol -------------------------------------------------------
+
+    def add(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def replace(self, relation: Relation) -> None:
+        """Add or overwrite a relation (used when materializing bags)."""
+        self._relations[relation.name] = relation
+
+    def remove(self, name: str) -> None:
+        if name not in self._relations:
+            raise SchemaError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{r.name}:{len(r)}" for r in self)
+        return f"Database({body})"
+
+    # -- stats ---------------------------------------------------------------------
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(len(r) for r in self)
+
+    @property
+    def total_values(self) -> int:
+        """Total integer values stored (the paper's '#integers' accounting)."""
+        return sum(r.num_values for r in self)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(r.nbytes for r in self)
+
+    def subset(self, names: Iterable[str]) -> "Database":
+        """A new database holding only the named relations."""
+        return Database(self[n] for n in names)
+
+    def renamed_copy(self, mapping: Mapping[str, str]) -> "Database":
+        """Copy with relations renamed (relation names, not attributes)."""
+        out = Database()
+        for rel in self:
+            new_name = mapping.get(rel.name, rel.name)
+            out.add(Relation(new_name, rel.attributes, rel.data, dedup=False))
+        return out

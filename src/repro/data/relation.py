@@ -1,0 +1,318 @@
+"""Relations: named sets of fixed-arity integer tuples backed by numpy.
+
+A :class:`Relation` is the unit of data everywhere in the library: the
+graph datasets are binary relations, HCube shuffles relations between
+servers, pre-computed bags are relations, and Leapfrog consumes trie
+indexes built from relations.
+
+Values are ``int64``.  The tuple set is deduplicated on construction (the
+paper works with set semantics — natural joins of edge relations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+
+__all__ = ["Relation", "row_group_ids", "lexsorted_rows"]
+
+
+def _as_data(data, arity: int) -> np.ndarray:
+    """Coerce ``data`` to an (n, arity) contiguous int64 array."""
+    arr = np.asarray(data, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, arity), dtype=np.int64)
+    if arr.ndim == 1:
+        if arity == 1:
+            arr = arr.reshape(-1, 1)
+        else:
+            raise SchemaError(
+                f"1-d data given for relation of arity {arity}; expected "
+                f"shape (n, {arity})"
+            )
+    if arr.ndim != 2 or arr.shape[1] != arity:
+        raise SchemaError(
+            f"data of shape {arr.shape} does not match arity {arity}"
+        )
+    return np.ascontiguousarray(arr)
+
+
+def lexsorted_rows(arr: np.ndarray) -> np.ndarray:
+    """Return ``arr`` with rows sorted lexicographically (first column major)."""
+    if arr.shape[0] <= 1:
+        return arr
+    # np.lexsort sorts by the *last* key first, so feed columns reversed.
+    order = np.lexsort(tuple(arr[:, j] for j in range(arr.shape[1] - 1, -1, -1)))
+    return arr[order]
+
+
+def _dedup_sorted(arr: np.ndarray) -> np.ndarray:
+    """Drop duplicate rows from a lexicographically sorted array."""
+    if arr.shape[0] <= 1:
+        return arr
+    keep = np.empty(arr.shape[0], dtype=bool)
+    keep[0] = True
+    np.any(arr[1:] != arr[:-1], axis=1, out=keep[1:])
+    return arr[keep]
+
+
+def row_group_ids(*arrays: np.ndarray) -> list[np.ndarray]:
+    """Assign a shared integer id to equal rows across several arrays.
+
+    All arrays must have the same number of columns.  Rows that compare
+    equal (within or across arrays) receive the same id.  This is the
+    equality backbone for hash-join-style matching without Python dicts.
+    """
+    non_empty = [a for a in arrays if a.shape[0]]
+    if not non_empty:
+        return [np.empty(0, dtype=np.int64) for _ in arrays]
+    stacked = np.vstack(non_empty)
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False)
+    out: list[np.ndarray] = []
+    offset = 0
+    for a in arrays:
+        n = a.shape[0]
+        out.append(inverse[offset:offset + n])
+        offset += n
+    return out
+
+
+class Relation:
+    """An immutable named relation over integer attributes.
+
+    Parameters
+    ----------
+    name:
+        Relation name (e.g. ``"R1"``).
+    attributes:
+        Attribute names in column order; must be distinct.
+    data:
+        Anything coercible to an ``(n, len(attributes))`` int64 array.
+    dedup:
+        Deduplicate rows (set semantics).  Callers that already hold a
+        deduplicated array may pass ``False`` to skip the sort.
+    """
+
+    __slots__ = ("name", "attributes", "data")
+
+    def __init__(self, name: str, attributes: Sequence[str], data=(),
+                 dedup: bool = True):
+        attributes = tuple(attributes)
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attributes in schema {attributes}")
+        if not attributes:
+            raise SchemaError("a relation needs at least one attribute")
+        self.name = name
+        self.attributes = attributes
+        arr = _as_data(data, len(attributes))
+        if dedup and arr.shape[0] > 1:
+            arr = _dedup_sorted(lexsorted_rows(arr))
+        self.data = arr
+        self.data.setflags(write=False)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_tuples(cls, name: str, attributes: Sequence[str],
+                    tuples: Iterable[Sequence[int]]) -> "Relation":
+        """Build a relation from an iterable of python tuples."""
+        rows = [tuple(t) for t in tuples]
+        return cls(name, attributes, np.asarray(rows, dtype=np.int64)
+                   if rows else (), dedup=True)
+
+    @classmethod
+    def from_edges(cls, name: str, edges: np.ndarray,
+                   attributes: Sequence[str] = ("src", "dst")) -> "Relation":
+        """Build a binary relation from an (m, 2) edge array."""
+        if len(tuple(attributes)) != 2:
+            raise SchemaError("from_edges needs exactly two attributes")
+        return cls(name, attributes, edges, dedup=True)
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def __bool__(self) -> bool:
+        return self.data.shape[0] > 0
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for row in self.data:
+            yield tuple(int(v) for v in row)
+
+    def __contains__(self, t: Sequence[int]) -> bool:
+        t = np.asarray(tuple(t), dtype=np.int64)
+        if t.shape != (self.arity,):
+            return False
+        if not len(self):
+            return False
+        return bool(np.any(np.all(self.data == t, axis=1)))
+
+    def __eq__(self, other) -> bool:
+        """Set equality of tuples; name is ignored, schema must match."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.attributes != other.attributes:
+            return False
+        if len(self) != len(other):
+            return False
+        a = lexsorted_rows(self.data)
+        b = lexsorted_rows(other.data)
+        return bool(np.array_equal(a, b))
+
+    def __hash__(self):  # pragma: no cover - relations are not dict keys
+        raise TypeError("Relation is not hashable")
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(self.attributes)
+        return f"Relation({self.name}({attrs}), {len(self)} tuples)"
+
+    # -- memory accounting ------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the payload in bytes (8 bytes per value, as int64)."""
+        return int(self.data.nbytes)
+
+    @property
+    def num_values(self) -> int:
+        """Total number of integer values stored (the paper counts these)."""
+        return int(self.data.size)
+
+    # -- column access ----------------------------------------------------------
+
+    def column_index(self, attr: str) -> int:
+        try:
+            return self.attributes.index(attr)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {attr!r} not in schema {self.attributes}"
+            ) from None
+
+    def column(self, attr: str) -> np.ndarray:
+        """The raw column for ``attr`` (duplicates preserved)."""
+        return self.data[:, self.column_index(attr)]
+
+    def distinct_values(self, attr: str) -> np.ndarray:
+        """Sorted distinct values of ``attr``."""
+        return np.unique(self.column(attr))
+
+    # -- relational algebra -------------------------------------------------------
+
+    def project(self, attrs: Sequence[str], name: str | None = None) -> "Relation":
+        """Duplicate-eliminating projection onto ``attrs`` (in given order)."""
+        attrs = tuple(attrs)
+        idx = [self.column_index(a) for a in attrs]
+        return Relation(name or self.name, attrs, self.data[:, idx], dedup=True)
+
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        """Rename attributes via ``mapping`` (missing attrs stay)."""
+        attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        return Relation(name or self.name, attrs, self.data, dedup=False)
+
+    def reorder(self, attrs: Sequence[str], name: str | None = None) -> "Relation":
+        """Reorder columns to ``attrs`` — a permutation of the schema."""
+        attrs = tuple(attrs)
+        if set(attrs) != set(self.attributes) or len(attrs) != self.arity:
+            raise SchemaError(
+                f"{attrs} is not a permutation of {self.attributes}"
+            )
+        idx = [self.column_index(a) for a in attrs]
+        return Relation(name or self.name, attrs, self.data[:, idx], dedup=False)
+
+    def select_equals(self, attr: str, value: int, name: str | None = None) -> "Relation":
+        """Selection sigma_{attr = value}."""
+        col = self.column(attr)
+        return Relation(name or self.name, self.attributes,
+                        self.data[col == np.int64(value)], dedup=False)
+
+    def select_in(self, attr: str, values: np.ndarray,
+                  name: str | None = None) -> "Relation":
+        """Selection sigma_{attr in values}."""
+        values = np.asarray(values, dtype=np.int64)
+        mask = np.isin(self.column(attr), values)
+        return Relation(name or self.name, self.attributes,
+                        self.data[mask], dedup=False)
+
+    def common_attributes(self, other: "Relation") -> tuple[str, ...]:
+        return tuple(a for a in self.attributes if a in other.attributes)
+
+    def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Keep tuples whose projection on the shared attrs appears in ``other``."""
+        common = self.common_attributes(other)
+        if not common:
+            # No shared attributes: semijoin keeps everything unless other
+            # is empty (then the join would be empty too).
+            if len(other) == 0:
+                return Relation(name or self.name, self.attributes, (),
+                                dedup=False)
+            return Relation(name or self.name, self.attributes, self.data,
+                            dedup=False)
+        left = self.data[:, [self.column_index(a) for a in common]]
+        right = other.data[:, [other.column_index(a) for a in common]]
+        ids_left, ids_right = row_group_ids(left, right)
+        mask = np.isin(ids_left, ids_right)
+        return Relation(name or self.name, self.attributes,
+                        self.data[mask], dedup=False)
+
+    def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join (sort-merge on the shared attributes)."""
+        common = self.common_attributes(other)
+        out_attrs = self.attributes + tuple(
+            a for a in other.attributes if a not in common)
+        out_name = name or f"({self.name}><{other.name})"
+        if not len(self) or not len(other):
+            return Relation(out_name, out_attrs, (), dedup=False)
+        if not common:
+            # Cartesian product.
+            n, m = len(self), len(other)
+            left = np.repeat(self.data, m, axis=0)
+            right = np.tile(other.data, (n, 1))
+            return Relation(out_name, out_attrs,
+                            np.hstack([left, right]), dedup=True)
+        left_keys = self.data[:, [self.column_index(a) for a in common]]
+        right_keys = other.data[:, [other.column_index(a) for a in common]]
+        ids_left, ids_right = row_group_ids(left_keys, right_keys)
+        order = np.argsort(ids_right, kind="stable")
+        sorted_right_ids = ids_right[order]
+        lo = np.searchsorted(sorted_right_ids, ids_left, side="left")
+        hi = np.searchsorted(sorted_right_ids, ids_left, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return Relation(out_name, out_attrs, (), dedup=False)
+        left_idx = np.repeat(np.arange(len(self)), counts)
+        # For each output row, the offset of the matching right tuple within
+        # its run of equal keys.
+        starts = np.repeat(lo, counts)
+        run_offsets = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        right_idx = order[starts + run_offsets]
+        rest_cols = [other.column_index(a) for a in other.attributes
+                     if a not in common]
+        pieces = [self.data[left_idx]]
+        if rest_cols:
+            pieces.append(other.data[right_idx][:, rest_cols])
+        return Relation(out_name, out_attrs, np.hstack(pieces), dedup=True)
+
+    def union(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set union; schemas must match exactly."""
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"union of mismatched schemas {self.attributes} vs "
+                f"{other.attributes}"
+            )
+        return Relation(name or self.name, self.attributes,
+                        np.vstack([self.data, other.data]), dedup=True)
+
+    def as_set(self) -> frozenset[tuple[int, ...]]:
+        """The tuple set as a frozenset (test helper; O(n) python objects)."""
+        return frozenset(map(tuple, self.data.tolist()))

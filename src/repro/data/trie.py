@@ -1,0 +1,257 @@
+"""Sorted-array tries: the index structure behind Leapfrog triejoin.
+
+A trie over a relation with column order ``(A1, ..., Ak)`` is the
+lexicographically sorted, deduplicated tuple array.  A *node* at depth
+``d`` is a contiguous row range ``[lo, hi)`` sharing the first ``d``
+column values; its children are the runs of distinct values in column
+``d`` inside that range.  All navigation is binary search on column
+slices, so the trie costs nothing beyond one sort at build time —
+mirroring the array-based tries of Leapfrog implementations (and the
+"three arrays" block-trie representation of the paper's Merge HCube).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .relation import Relation, lexsorted_rows
+
+__all__ = ["Trie", "TrieIterator"]
+
+
+class Trie:
+    """A read-only trie index over a relation for a fixed column order."""
+
+    __slots__ = ("name", "attributes", "data", "_columns")
+
+    def __init__(self, relation: Relation, order: Sequence[str] | None = None):
+        order = tuple(order) if order is not None else relation.attributes
+        if set(order) != set(relation.attributes):
+            raise SchemaError(
+                f"trie order {order} is not a permutation of "
+                f"{relation.attributes}"
+            )
+        self.name = relation.name
+        self.attributes = order
+        reordered = relation.reorder(order).data
+        data = lexsorted_rows(reordered)
+        if data.shape[0] > 1:
+            keep = np.empty(data.shape[0], dtype=bool)
+            keep[0] = True
+            np.any(data[1:] != data[:-1], axis=1, out=keep[1:])
+            data = data[keep]
+        self.data = np.ascontiguousarray(data)
+        self.data.setflags(write=False)
+        # Pre-sliced contiguous columns: searchsorted on a contiguous 1-d
+        # array is much faster than on a strided column view.
+        self._columns = tuple(
+            np.ascontiguousarray(self.data[:, j])
+            for j in range(self.data.shape[1])
+        )
+
+    # -- basic protocol ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def __repr__(self) -> str:
+        return (f"Trie({self.name}[{', '.join(self.attributes)}], "
+                f"{len(self)} tuples)")
+
+    @property
+    def root(self) -> tuple[int, int]:
+        """The row range of the root node (whole relation)."""
+        return (0, int(self.data.shape[0]))
+
+    @property
+    def num_values(self) -> int:
+        return int(self.data.size)
+
+    # -- navigation -------------------------------------------------------------
+
+    def candidates(self, depth: int, lo: int, hi: int) -> np.ndarray:
+        """Sorted distinct values of column ``depth`` within ``[lo, hi)``."""
+        col = self._columns[depth][lo:hi]
+        if col.shape[0] == 0:
+            return col
+        # The slice is sorted because rows are lexicographically sorted and
+        # all rows in [lo, hi) agree on columns < depth.
+        keep = np.empty(col.shape[0], dtype=bool)
+        keep[0] = True
+        np.not_equal(col[1:], col[:-1], out=keep[1:])
+        return col[keep]
+
+    def children(self, depth: int, lo: int, hi: int
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Distinct values plus their child sub-ranges.
+
+        Returns ``(values, starts, ends)`` where child ``i`` spans rows
+        ``[starts[i], ends[i])``.
+        """
+        col = self._columns[depth][lo:hi]
+        if col.shape[0] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        change = np.empty(col.shape[0], dtype=bool)
+        change[0] = True
+        np.not_equal(col[1:], col[:-1], out=change[1:])
+        starts = np.flatnonzero(change).astype(np.int64) + lo
+        values = self._columns[depth][starts]
+        ends = np.empty_like(starts)
+        ends[:-1] = starts[1:]
+        ends[-1] = hi
+        return values, starts, ends
+
+    def child_range(self, depth: int, lo: int, hi: int, value: int
+                    ) -> tuple[int, int]:
+        """Row range of the child with ``value`` at ``depth`` (may be empty)."""
+        col = self._columns[depth]
+        left = lo + int(np.searchsorted(col[lo:hi], value, side="left"))
+        right = lo + int(np.searchsorted(col[lo:hi], value, side="right"))
+        return (left, right)
+
+    def count_distinct(self, depth: int, lo: int, hi: int) -> int:
+        return int(self.candidates(depth, lo, hi).shape[0])
+
+    def prefix_count(self, depth: int) -> int:
+        """Number of distinct prefixes of length ``depth`` in the trie."""
+        if depth == 0:
+            return 1 if len(self) else 0
+        if depth >= self.arity:
+            return len(self)
+        sub = self.data[:, :depth]
+        if sub.shape[0] <= 1:
+            return int(sub.shape[0])
+        change = np.any(sub[1:] != sub[:-1], axis=1)
+        return int(change.sum()) + 1
+
+    def iterator(self) -> "TrieIterator":
+        return TrieIterator(self)
+
+    def to_relation(self, name: str | None = None) -> Relation:
+        return Relation(name or self.name, self.attributes, self.data,
+                        dedup=False)
+
+    # -- merging (HCube "Merge" implementation) ----------------------------------
+
+    @classmethod
+    def merge(cls, tries: Sequence["Trie"], name: str | None = None) -> "Trie":
+        """Union of several tries sharing a schema, as a new trie.
+
+        Used by the Merge HCube variant: a server's local trie is the merge
+        of the pre-built block tries it pulled.  The cost *model* charges
+        this as a cheap merge (Sec. V); here we simply re-sort, which is
+        semantically identical.
+        """
+        if not tries:
+            raise SchemaError("cannot merge zero tries")
+        first = tries[0]
+        for t in tries[1:]:
+            if t.attributes != first.attributes:
+                raise SchemaError(
+                    f"cannot merge tries with schemas {t.attributes} and "
+                    f"{first.attributes}"
+                )
+        data = np.vstack([t.data for t in tries])
+        rel = Relation(name or first.name, first.attributes, data, dedup=True)
+        return cls(rel)
+
+
+class TrieIterator:
+    """Linear-iterator interface over a :class:`Trie` (LFTJ-style).
+
+    Implements the classic Leapfrog Triejoin iterator contract:
+    ``open`` / ``up`` move vertically, ``next`` / ``seek`` move through the
+    sorted distinct values at the current depth, ``key`` reads the current
+    value and ``at_end`` reports exhaustion at the current depth.
+    """
+
+    __slots__ = ("trie", "_stack", "_pos", "_end", "at_end")
+
+    def __init__(self, trie: Trie):
+        self.trie = trie
+        # Stack of (lo, hi) ranges; the top is the current node's range.
+        self._stack: list[tuple[int, int]] = [trie.root]
+        self._pos = 0   # start row of the current value's run
+        self._end = 0   # end row of the current value's run
+        self.at_end = True
+
+    @property
+    def depth(self) -> int:
+        """Current depth; 0 means positioned at the root (no open column)."""
+        return len(self._stack) - 1
+
+    def key(self) -> int:
+        """Value at the current position (undefined when ``at_end``)."""
+        return int(self.trie._columns[self.depth - 1][self._pos])
+
+    def open(self) -> None:
+        """Descend to the first value of the next column."""
+        lo, hi = (self._pos, self._end) if self.depth else self._stack[-1]
+        self._stack.append((lo, hi))
+        d = self.depth - 1
+        if lo >= hi:
+            self.at_end = True
+            self._pos = self._end = lo
+            return
+        self._pos = lo
+        col = self.trie._columns[d]
+        self._end = lo + int(
+            np.searchsorted(col[lo:hi], col[lo], side="right"))
+        self.at_end = False
+
+    def up(self) -> None:
+        """Return to the parent depth, restoring its position there.
+
+        The range pushed by ``open`` is exactly the parent's current value
+        run, so popping it restores the parent position.  After returning
+        to depth 0 the iterator has no current value (``key`` is undefined).
+        """
+        if self.depth == 0:
+            raise IndexError("cannot go above the trie root")
+        popped = self._stack.pop()
+        if self.depth == 0:
+            self._pos, self._end = self._stack[-1]
+            self.at_end = False
+            return
+        self._pos, self._end = popped
+        self.at_end = False
+
+    def next(self) -> None:
+        """Advance to the next distinct value at the current depth."""
+        node_lo, node_hi = self._stack[-1]
+        if self._end >= node_hi:
+            self.at_end = True
+            return
+        d = self.depth - 1
+        col = self.trie._columns[d]
+        self._pos = self._end
+        self._end = self._pos + int(np.searchsorted(
+            col[self._pos:node_hi], col[self._pos], side="right"))
+
+    def seek(self, value: int) -> None:
+        """Position at the least value >= ``value`` at the current depth."""
+        node_lo, node_hi = self._stack[-1]
+        d = self.depth - 1
+        col = self.trie._columns[d]
+        lo = self._pos + int(np.searchsorted(
+            col[self._pos:node_hi], value, side="left"))
+        if lo >= node_hi:
+            self.at_end = True
+            self._pos = self._end = node_hi
+            return
+        self._pos = lo
+        self._end = lo + int(np.searchsorted(
+            col[lo:node_hi], col[lo], side="right"))
+        self.at_end = False
+
+    def child_span(self) -> tuple[int, int]:
+        """Row range of the subtree under the current value."""
+        return (self._pos, self._end)

@@ -1,0 +1,48 @@
+"""Distributed substrate: cluster simulator, HCube, hash shuffles, metrics."""
+
+from .cluster import Cluster, default_workers
+from .hcube import (
+    HCubeShuffleResult,
+    HypercubeGrid,
+    hcube_shuffle,
+    local_atom_name,
+    localized_query,
+    mix_hash,
+    modulo_hash,
+)
+from .metrics import CostBreakdown, CostLedger, CostModelParams, ShuffleStats
+from .partitioner import (
+    Shares,
+    dup_factor,
+    enumerate_share_vectors,
+    frac_factor,
+    optimize_shares,
+)
+from .shuffle import broadcast_stats, hash_partition
+from .skew import SkewReport, skew_report, straggler_slowdown
+
+__all__ = [
+    "SkewReport",
+    "skew_report",
+    "straggler_slowdown",
+    "Cluster",
+    "default_workers",
+    "HCubeShuffleResult",
+    "HypercubeGrid",
+    "hcube_shuffle",
+    "local_atom_name",
+    "localized_query",
+    "mix_hash",
+    "modulo_hash",
+    "CostBreakdown",
+    "CostLedger",
+    "CostModelParams",
+    "ShuffleStats",
+    "Shares",
+    "dup_factor",
+    "enumerate_share_vectors",
+    "frac_factor",
+    "optimize_shares",
+    "broadcast_stats",
+    "hash_partition",
+]

@@ -1,0 +1,56 @@
+"""The simulated cluster every engine runs against.
+
+Mirrors the paper's setup (Sec. VII-A): a number of workers (they use 28,
+4 per slave x 7 slaves), a per-worker memory budget, and calibrated
+communication/computation rates.  The cluster itself is a small value
+object — data movement happens in :mod:`repro.distributed.hcube` and
+:mod:`repro.distributed.shuffle`; the cluster supplies the parameters and
+fresh cost ledgers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from .metrics import CostLedger, CostModelParams
+
+__all__ = ["Cluster", "default_workers"]
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """Worker count, overridable through REPRO_WORKERS."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None:
+        return _DEFAULT_WORKERS
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {raw!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A simulated cluster configuration."""
+
+    num_workers: int = field(default_factory=default_workers)
+    params: CostModelParams = field(default_factory=CostModelParams)
+    #: Per-worker memory budget in tuples; None disables OOM checking.
+    memory_tuples_per_worker: float | None = None
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+
+    def new_ledger(self) -> CostLedger:
+        return CostLedger(params=self.params)
+
+    def with_workers(self, num_workers: int) -> "Cluster":
+        """Same configuration, different worker count (Fig. 11 sweeps)."""
+        return Cluster(num_workers=num_workers, params=self.params,
+                       memory_tuples_per_worker=self.memory_tuples_per_worker)

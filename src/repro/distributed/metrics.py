@@ -1,0 +1,173 @@
+"""Cost accounting: counters, model parameters, and cost breakdowns.
+
+The paper's evaluation reports *seconds* per phase (Tables II-IV:
+Optimization / Pre-Computing / Communication / Computation / Total), all
+derived from counted quantities through two calibrated rates (Sec. III-B):
+
+- ``alpha`` — tuples transmitted per second, measured by shuffling k
+  random tuples;
+- ``beta`` — partial bindings extended per second, measured by timing
+  trie queries / reusing sampling statistics.
+
+Our cluster is simulated, so we keep the same structure: every shuffle
+and every Leapfrog run updates deterministic counters, and
+:class:`CostModelParams` converts them into model-seconds.  Parameters
+are pinned by default (reproducible numbers); :mod:`repro.core.calibration`
+can measure real rates of the running process instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostModelParams", "ShuffleStats", "CostBreakdown", "CostLedger"]
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Rates converting counted work into model-seconds.
+
+    The defaults encode the *relative* magnitudes the paper reports:
+    tuple-at-a-time shuffling (Push) is about two orders of magnitude
+    slower per tuple than block pulls (Fig. 9a); Merge ships pre-built
+    tries that serialize better than tuple blocks and skips local trie
+    construction (Fig. 9b).
+    """
+
+    #: Tuples per second for tuple-at-a-time (Push) shuffling.
+    alpha_push: float = 5.0e4
+    #: Tuples per second for block-based (Pull) shuffling.
+    alpha_pull: float = 5.0e6
+    #: Tuples per second for pre-built-trie (Merge) shuffling.
+    alpha_merge: float = 1.0e7
+    #: Fixed cost per fetched block (request latency), seconds.
+    block_latency: float = 1.0e-3
+    #: Leapfrog intersection work units per second, per worker.
+    beta_work: float = 2.0e6
+    #: Tuples per second when building a trie on a worker (Push/Pull).
+    trie_build_rate: float = 1.0e6
+    #: Tuples per second when merging pre-built block tries (Merge).
+    trie_merge_rate: float = 1.0e7
+    #: Trie lookups per second on a *pre-computed* bag relation (the
+    #: optimizer's beta_i for pre-computed nodes).
+    beta_trie_lookup: float = 1.0e6
+
+    def alpha_for(self, impl: str) -> float:
+        try:
+            return {"push": self.alpha_push,
+                    "pull": self.alpha_pull,
+                    "merge": self.alpha_merge}[impl]
+        except KeyError:
+            raise ValueError(
+                f"unknown HCube implementation {impl!r}; "
+                "expected push/pull/merge") from None
+
+
+@dataclass
+class ShuffleStats:
+    """What one shuffle moved."""
+
+    tuple_copies: int = 0        # (tuple, destination) pairs
+    blocks_fetched: int = 0
+    bytes_copied: int = 0
+    max_worker_tuples: int = 0   # heaviest destination (memory / skew)
+
+    def merge_in(self, other: "ShuffleStats") -> None:
+        self.tuple_copies += other.tuple_copies
+        self.blocks_fetched += other.blocks_fetched
+        self.bytes_copied += other.bytes_copied
+        self.max_worker_tuples = max(self.max_worker_tuples,
+                                     other.max_worker_tuples)
+
+
+@dataclass
+class CostBreakdown:
+    """Model-seconds per phase — one row of the paper's Tables II-IV."""
+
+    optimization: float = 0.0
+    precompute: float = 0.0
+    communication: float = 0.0
+    computation: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.optimization + self.precompute
+                + self.communication + self.computation)
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            optimization=self.optimization + other.optimization,
+            precompute=self.precompute + other.precompute,
+            communication=self.communication + other.communication,
+            computation=self.computation + other.computation,
+        )
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "Optimization": self.optimization,
+            "Pre-Computing": self.precompute,
+            "Communication": self.communication,
+            "Computation": self.computation,
+            "Total": self.total,
+        }
+
+
+@dataclass
+class CostLedger:
+    """Mutable counters accumulated over one engine run."""
+
+    params: CostModelParams = field(default_factory=CostModelParams)
+    tuples_shuffled: int = 0
+    blocks_fetched: int = 0
+    rounds: int = 0
+    worker_work: dict[int, float] = field(default_factory=dict)
+    comm_seconds: float = 0.0
+    comp_seconds: float = 0.0
+    precompute_seconds: float = 0.0
+    optimization_seconds: float = 0.0
+
+    def charge_shuffle(self, stats: ShuffleStats, impl: str,
+                       phase: str = "communication") -> float:
+        """Convert a shuffle into model-seconds and accumulate them."""
+        alpha = self.params.alpha_for(impl)
+        seconds = stats.tuple_copies / alpha \
+            + stats.blocks_fetched * self.params.block_latency
+        self.tuples_shuffled += stats.tuple_copies
+        self.blocks_fetched += stats.blocks_fetched
+        self.rounds += 1
+        self._add_phase(phase, seconds)
+        return seconds
+
+    def charge_worker_work(self, work_by_worker: dict[int, float],
+                           rate: float | None = None,
+                           phase: str = "computation") -> float:
+        """Parallel computation: the makespan of per-worker work."""
+        rate = rate if rate is not None else self.params.beta_work
+        for w, units in work_by_worker.items():
+            self.worker_work[w] = self.worker_work.get(w, 0.0) + units
+        seconds = max(work_by_worker.values(), default=0.0) / rate
+        self._add_phase(phase, seconds)
+        return seconds
+
+    def charge_seconds(self, seconds: float, phase: str) -> None:
+        self._add_phase(phase, seconds)
+
+    def _add_phase(self, phase: str, seconds: float) -> None:
+        if phase == "communication":
+            self.comm_seconds += seconds
+        elif phase == "computation":
+            self.comp_seconds += seconds
+        elif phase == "precompute":
+            self.precompute_seconds += seconds
+        elif phase == "optimization":
+            self.optimization_seconds += seconds
+        else:
+            raise ValueError(f"unknown phase {phase!r}")
+
+    def breakdown(self) -> CostBreakdown:
+        return CostBreakdown(
+            optimization=self.optimization_seconds,
+            precompute=self.precompute_seconds,
+            communication=self.comm_seconds,
+            computation=self.comp_seconds,
+        )

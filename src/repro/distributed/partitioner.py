@@ -1,0 +1,153 @@
+"""HCube share optimization (Eq. 3 of the paper).
+
+HCube hashes each attribute ``A`` into ``p_A`` partitions; the share
+vector ``p`` determines how many servers receive each tuple:
+
+    dup(R, p)  = prod_{A not in attrs(R)} p_A        (copies per tuple)
+    frac(R, p) = 1 / prod_{A in attrs(R)} p_A        (fraction per server)
+
+The optimizer minimizes total communication  sum_R |R| * dup(R, p)
+subject to  prod_A p_A <= #cubes  and the per-server memory constraint
+``M - sum_R |R| * frac(R, p) >= 0``.  Query sizes here are small enough
+for exact enumeration of the integer vectors, which also serves as the
+ground truth the tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import OutOfMemory, PlanError
+from ..query.query import JoinQuery
+
+__all__ = ["Shares", "dup_factor", "frac_factor", "enumerate_share_vectors",
+           "optimize_shares"]
+
+
+@dataclass(frozen=True)
+class Shares:
+    """An optimized share vector ``p`` over the query attributes."""
+
+    shares: tuple[tuple[str, int], ...]   # (attribute, p_A) pairs
+    tuple_copies: int                     # sum_R |R| * dup(R, p)
+    max_server_load: float                # sum_R |R| * frac(R, p)
+
+    @property
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.shares)
+
+    @property
+    def num_cubes(self) -> int:
+        out = 1
+        for _, p in self.shares:
+            out *= p
+        return out
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{a}={p}" for a, p in self.shares)
+        return f"Shares({inner}; cubes={self.num_cubes})"
+
+
+def dup_factor(atom_attrs: Sequence[str], shares: Mapping[str, int]) -> int:
+    """dup(R, p): copies of each tuple of R under shares p."""
+    out = 1
+    for attr, p in shares.items():
+        if attr not in atom_attrs:
+            out *= p
+    return out
+
+
+def frac_factor(atom_attrs: Sequence[str], shares: Mapping[str, int]) -> float:
+    """frac(R, p): expected fraction of R landing on one server."""
+    out = 1.0
+    for attr in atom_attrs:
+        out /= shares[attr]
+    return out
+
+
+def enumerate_share_vectors(num_attrs: int, max_product: int
+                            ) -> Iterator[tuple[int, ...]]:
+    """All integer vectors (p_1..p_n), p_i >= 1, with product <= max_product."""
+    if num_attrs == 0:
+        yield ()
+        return
+
+    def rec(i: int, remaining: int, prefix: tuple[int, ...]):
+        if i == num_attrs:
+            yield prefix
+            return
+        for p in range(1, remaining + 1):
+            yield from rec(i + 1, remaining // p, prefix + (p,))
+
+    yield from rec(0, max_product, ())
+
+
+def optimize_shares(query: JoinQuery, sizes: Mapping[str, int],
+                    num_cubes: int,
+                    memory_tuples: float | None = None,
+                    exact: bool = True) -> Shares:
+    """Exact share optimization by enumeration.
+
+    Parameters
+    ----------
+    query:
+        The join query; shares are assigned to its attributes.
+    sizes:
+        Relation size (tuples) per *atom index key* ``f"#{i}"`` or atom
+        relation name — we accept either; see ``_atom_size``.
+    num_cubes:
+        Number of hypercubes, typically the worker/core count.
+    memory_tuples:
+        Optional per-server memory budget (in tuples).  Vectors whose
+        expected per-server load exceeds it are discarded (Eq. 3).
+    exact:
+        Require ``prod p == num_cubes`` (the standard HCube setting: all
+        workers used).  With ``exact=False`` any product <= num_cubes is
+        allowed, and minimizing copies then degenerates towards p = 1 —
+        exposed for studying that trade-off.
+    """
+    attrs = query.attributes
+    atom_sizes = [_atom_size(query, i, sizes) for i in range(query.num_atoms)]
+    best: tuple | None = None
+    for vector in enumerate_share_vectors(len(attrs), num_cubes):
+        if exact and _product(vector) != num_cubes:
+            continue
+        shares = dict(zip(attrs, vector))
+        copies = 0
+        load = 0.0
+        for atom, size in zip(query.atoms, atom_sizes):
+            copies += size * dup_factor(atom.attributes, shares)
+            load += size * frac_factor(atom.attributes, shares)
+        if memory_tuples is not None and load > memory_tuples:
+            continue
+        # Prefer fewer copies; break ties toward more cubes (more
+        # parallelism), then lexicographically for determinism.
+        key = (copies, -_product(vector), vector)
+        if best is None or key < best[0]:
+            best = (key, vector, copies, load)
+    if best is None:
+        if memory_tuples is not None:
+            # Every vector breaks Eq. 3: the cluster genuinely cannot
+            # hold this query — the paper's OOM failure mode.
+            raise OutOfMemory(-1, 0, int(memory_tuples))
+        raise PlanError(f"no feasible share vector for {query.name}")
+    _, vector, copies, load = best
+    return Shares(tuple(zip(attrs, vector)), int(copies), float(load))
+
+
+def _product(vector: Sequence[int]) -> int:
+    out = 1
+    for v in vector:
+        out *= v
+    return out
+
+
+def _atom_size(query: JoinQuery, index: int, sizes: Mapping[str, int]) -> int:
+    atom = query.atoms[index]
+    for key in (f"#{index}", atom.relation):
+        if key in sizes:
+            return int(sizes[key])
+    raise PlanError(
+        f"no size given for atom {index} ({atom.relation}); "
+        f"keys available: {sorted(sizes)}")

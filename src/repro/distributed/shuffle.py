@@ -1,0 +1,58 @@
+"""Plain hash-partition shuffles for the multi-round baselines.
+
+SparkSQL-style binary joins and BigJoin repartition data *between*
+rounds: every tuple is routed to exactly one worker by hashing its join
+key.  This module provides that primitive plus its accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.relation import Relation
+from ..errors import SchemaError
+from .hcube import HashFn, mix_hash
+from .metrics import ShuffleStats
+
+__all__ = ["hash_partition", "broadcast_stats"]
+
+
+def hash_partition(relation: Relation, key_attrs: Sequence[str],
+                   num_workers: int, hash_fn: HashFn = mix_hash,
+                   salt: int = 0) -> tuple[list[Relation], ShuffleStats]:
+    """Split ``relation`` across workers by hash of ``key_attrs``.
+
+    Every tuple travels once, so ``tuple_copies == len(relation)``.
+    """
+    key_attrs = tuple(key_attrs)
+    if not key_attrs:
+        raise SchemaError("hash_partition needs at least one key attribute")
+    ids = np.zeros(len(relation), dtype=np.int64)
+    for i, attr in enumerate(key_attrs):
+        ids = ids * np.int64(num_workers) + hash_fn(
+            relation.column(attr), num_workers, salt + i)
+    ids %= num_workers
+    parts = []
+    for w in range(num_workers):
+        parts.append(Relation(relation.name, relation.attributes,
+                              relation.data[ids == w], dedup=False))
+    loads = [len(p) for p in parts]
+    stats = ShuffleStats(
+        tuple_copies=len(relation),
+        blocks_fetched=num_workers,
+        bytes_copied=relation.nbytes,
+        max_worker_tuples=max(loads, default=0),
+    )
+    return parts, stats
+
+
+def broadcast_stats(relation: Relation, num_workers: int) -> ShuffleStats:
+    """Accounting for replicating a relation to every worker."""
+    return ShuffleStats(
+        tuple_copies=len(relation) * num_workers,
+        blocks_fetched=num_workers,
+        bytes_copied=relation.nbytes * num_workers,
+        max_worker_tuples=len(relation),
+    )

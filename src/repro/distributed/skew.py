@@ -1,0 +1,79 @@
+"""Skew and straggler diagnostics.
+
+Sec. VII-B attributes Q5's limited scalability to skew: "the 'last
+straggler' effect plays a bigger role in determining the elapsed time".
+These helpers quantify that effect for any per-worker load or work
+distribution, and power the skew ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["SkewReport", "skew_report", "straggler_slowdown"]
+
+
+@dataclass(frozen=True)
+class SkewReport:
+    """Distributional summary of per-worker load/work."""
+
+    num_workers: int
+    total: float
+    mean: float
+    maximum: float
+    imbalance: float       # max / mean; 1.0 = perfectly balanced
+    cv: float              # coefficient of variation
+    gini: float            # 0 = equal, -> 1 = one worker does everything
+
+    def __str__(self) -> str:
+        return (f"SkewReport(workers={self.num_workers}, "
+                f"imbalance={self.imbalance:.2f}, cv={self.cv:.2f}, "
+                f"gini={self.gini:.2f})")
+
+
+def _gini(values: np.ndarray) -> float:
+    if values.sum() == 0:
+        return 0.0
+    sorted_vals = np.sort(values)
+    n = sorted_vals.shape[0]
+    ranks = np.arange(1, n + 1)
+    return float((2 * ranks - n - 1).dot(sorted_vals)
+                 / (n * sorted_vals.sum()))
+
+
+def skew_report(loads: Mapping[int, float] | Sequence[float]) -> SkewReport:
+    """Summarize a per-worker load distribution."""
+    if isinstance(loads, Mapping):
+        values = np.array(list(loads.values()), dtype=float)
+    else:
+        values = np.array(list(loads), dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one worker load")
+    mean = float(values.mean())
+    maximum = float(values.max())
+    return SkewReport(
+        num_workers=int(values.size),
+        total=float(values.sum()),
+        mean=mean,
+        maximum=maximum,
+        imbalance=(maximum / mean) if mean > 0 else 1.0,
+        cv=float(values.std() / mean) if mean > 0 else 0.0,
+        gini=_gini(values),
+    )
+
+
+def straggler_slowdown(loads: Mapping[int, float] | Sequence[float]
+                       ) -> float:
+    """Parallel-time penalty of skew: makespan / ideal makespan.
+
+    1.0 means the work could not have been spread better; k means the
+    straggler made the phase k times slower than a perfect re-balance.
+    """
+    report = skew_report(loads)
+    if report.total == 0:
+        return 1.0
+    ideal = report.total / report.num_workers
+    return report.maximum / ideal

@@ -1,0 +1,25 @@
+"""The five distributed engines compared in Sec. VII."""
+
+from .adj import ADJ
+from .base import Engine, EngineResult, attach_degree_order, run_engine_safely
+from .bigjoin import BigJoin
+from .hcubej import HCubeJ
+from .hcubej_cache import HCubeJCache
+from .one_round import OneRoundOutcome, one_round_execute
+from .sparksql import SparkSQLJoin
+from .yannakakis import YannakakisJoin
+
+__all__ = [
+    "ADJ",
+    "Engine",
+    "EngineResult",
+    "attach_degree_order",
+    "run_engine_safely",
+    "BigJoin",
+    "HCubeJ",
+    "HCubeJCache",
+    "OneRoundOutcome",
+    "one_round_execute",
+    "SparkSQLJoin",
+    "YannakakisJoin",
+]

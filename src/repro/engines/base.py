@@ -1,0 +1,97 @@
+"""Engine protocol and shared helpers for the five Sec. VII competitors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..distributed.cluster import Cluster
+from ..distributed.metrics import CostBreakdown
+from ..errors import BudgetExceeded, OutOfMemory
+from ..query.query import JoinQuery
+
+__all__ = ["EngineResult", "Engine", "run_engine_safely",
+           "attach_degree_order"]
+
+
+@dataclass
+class EngineResult:
+    """What one engine run produced (or how it failed)."""
+
+    engine: str
+    query: str
+    count: int
+    breakdown: CostBreakdown
+    shuffled_tuples: int = 0
+    rounds: int = 1
+    failure: str | None = None        # None | "oom" | "budget"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.breakdown.total
+
+
+class Engine(Protocol):
+    """A distributed join engine (the paper's competing methods)."""
+
+    name: str
+
+    def run(self, query: JoinQuery, db: Database,
+            cluster: Cluster) -> EngineResult:
+        """Evaluate the query; raises OutOfMemory / BudgetExceeded."""
+        ...
+
+
+def run_engine_safely(engine: Engine, query: JoinQuery, db: Database,
+                      cluster: Cluster) -> EngineResult:
+    """Run an engine, converting the paper's two failure modes into a
+    failed :class:`EngineResult` (missing bar / frame-top bar)."""
+    try:
+        return engine.run(query, db, cluster)
+    except OutOfMemory:
+        return EngineResult(engine=engine.name, query=query.name, count=-1,
+                            breakdown=CostBreakdown(), failure="oom")
+    except BudgetExceeded:
+        return EngineResult(engine=engine.name, query=query.name, count=-1,
+                            breakdown=CostBreakdown(), failure="budget")
+
+
+def attach_degree_order(query: JoinQuery, db: Database) -> tuple[str, ...]:
+    """The all-space attribute-order heuristic used by HCubeJ ([11]).
+
+    Greedy: start from the attribute with the fewest distinct values
+    (most selective), then repeatedly append the attribute occurring in
+    the most atoms that already touch the bound set, breaking ties by
+    distinct-value count.  This is the baseline 'All-Selected' order of
+    Fig. 8 — deliberately *not* restricted to hypertree-valid orders.
+    """
+    distinct: dict[str, int] = {}
+    for attr in query.attributes:
+        best = None
+        for atom in query.atoms_with(attr):
+            rel = db[atom.relation]
+            col = atom.attributes.index(attr)
+            count = int(np.unique(rel.data[:, col]).shape[0])
+            best = count if best is None else min(best, count)
+        distinct[attr] = best or 0
+    order = [min(query.attributes, key=lambda a: (distinct[a], a))]
+    while len(order) < len(query.attributes):
+        bound = set(order)
+        remaining = [a for a in query.attributes if a not in bound]
+
+        def connectivity(a: str) -> int:
+            return sum(1 for atom in query.atoms_with(a)
+                       if bound & set(atom.attributes))
+
+        order.append(max(remaining,
+                         key=lambda a: (connectivity(a), -distinct[a], a)))
+    return tuple(order)

@@ -1,0 +1,65 @@
+"""HCubeJ + Cache: one-round join with CacheTrieJoin-style caching [28].
+
+Identical to HCubeJ except each cube's Leapfrog memoizes intersection
+results in an LRU cache.  The cache capacity is whatever memory the HCube
+shuffle left on the worker — the paper's central observation about this
+baseline: on small datasets (AS) there is plenty left and caching rivals
+ADJ; on LJ/OK the shuffle consumes the budget and caching stops helping.
+"""
+
+from __future__ import annotations
+
+from ..data.database import Database
+from ..distributed.cluster import Cluster
+from ..query.query import JoinQuery
+from ..wcoj.cache import IntersectionCache
+from .base import EngineResult, attach_degree_order
+from .hcubej import HCubeJ
+from .one_round import one_round_execute
+
+__all__ = ["HCubeJCache"]
+
+#: Cache sizing when the cluster has no explicit memory budget: a
+#: multiple of the worker's local data (abundant-memory assumption).
+_DEFAULT_CAPACITY_FACTOR = 4
+
+
+class HCubeJCache(HCubeJ):
+    """HCubeJ with a bounded per-cube intersection cache."""
+
+    name = "HCubeJ+Cache"
+    hcube_impl = "push"
+
+    def run(self, query: JoinQuery, db: Database,
+            cluster: Cluster) -> EngineResult:
+        ledger = cluster.new_ledger()
+        self._charge_optimization(query, cluster, ledger)
+        order = self.order or attach_degree_order(query, db)
+        budget = cluster.memory_tuples_per_worker
+
+        def cache_factory(worker_load: int) -> IntersectionCache:
+            if budget is None:
+                capacity = worker_load * _DEFAULT_CAPACITY_FACTOR
+            else:
+                # Values of leftover memory after the shuffle (>= 0).
+                capacity = max(0, int(budget) - worker_load)
+            return IntersectionCache(capacity)
+
+        outcome = one_round_execute(
+            query, db, cluster, order, ledger, impl=self.hcube_impl,
+            cache_factory=cache_factory, work_budget=self.work_budget)
+        return EngineResult(
+            engine=self.name,
+            query=query.name,
+            count=outcome.count,
+            breakdown=ledger.breakdown(),
+            shuffled_tuples=outcome.shuffled_tuples,
+            rounds=1,
+            extra={
+                "order": order,
+                "level_tuples": outcome.level_tuples,
+                "leapfrog_work": outcome.leapfrog_work,
+                "cache_hits": outcome.cache_hits,
+                "cache_misses": outcome.cache_misses,
+            },
+        )

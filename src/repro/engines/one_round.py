@@ -1,0 +1,109 @@
+"""Shared one-round execution: HCube shuffle + per-cube Leapfrog.
+
+Used by HCubeJ, HCubeJ+Cache and ADJ — they differ only in the shuffle
+implementation, the attribute order, the presence of an intersection
+cache, and (for ADJ) the pre-computed relations in the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..data.database import Database
+from ..distributed.cluster import Cluster
+from ..distributed.hcube import HypercubeGrid, hcube_shuffle
+from ..distributed.metrics import CostLedger
+from ..distributed.partitioner import optimize_shares
+from ..errors import BudgetExceeded
+from ..query.query import JoinQuery
+from ..wcoj.cache import IntersectionCache
+from ..wcoj.leapfrog import LeapfrogStats, leapfrog_join
+
+__all__ = ["OneRoundOutcome", "one_round_execute"]
+
+
+@dataclass
+class OneRoundOutcome:
+    """Counts and aggregated statistics of one one-round evaluation."""
+
+    count: int
+    level_tuples: list[int]
+    leapfrog_work: int
+    shuffled_tuples: int
+    max_worker_tuples: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    worker_work: dict[int, float] | None = None
+    worker_loads: dict[int, int] | None = None
+
+
+def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
+                      order: Sequence[str], ledger: CostLedger,
+                      impl: str = "push",
+                      cache_factory: Callable[[int], IntersectionCache | None]
+                      | None = None,
+                      work_budget: int | None = None,
+                      comm_phase: str = "communication") -> OneRoundOutcome:
+    """Shuffle with HCube, then run Leapfrog on every cube.
+
+    ``cache_factory(worker_load)`` may supply a per-cube intersection
+    cache sized from the memory left after the shuffle (HCubeJ+Cache).
+    Communication is charged to ``comm_phase`` so ADJ can book the bag
+    shuffles under pre-computing.
+    """
+    sizes = {a.relation: len(db[a.relation]) for a in query.atoms}
+    shares = optimize_shares(query, sizes, cluster.num_workers,
+                             memory_tuples=cluster.memory_tuples_per_worker)
+    grid = HypercubeGrid(query, shares, cluster.num_workers)
+    shuffle = hcube_shuffle(query, db, grid, impl=impl,
+                            memory_tuples=cluster.memory_tuples_per_worker)
+    ledger.charge_shuffle(shuffle.stats, impl, phase=comm_phase)
+    # Local trie construction (skipped cost-wise by Merge: blocks arrive
+    # as pre-built tries and only need merging).
+    rate = (cluster.params.trie_merge_rate if shuffle.prebuilt_tries
+            else cluster.params.trie_build_rate)
+    ledger.charge_worker_work(
+        {w: float(load) for w, load in shuffle.worker_loads.items()},
+        rate=rate, phase="computation")
+
+    local_query = shuffle.local_query
+    order = tuple(order)
+    count = 0
+    total_work = 0
+    level_tuples = [0] * len(order)
+    worker_work: dict[int, float] = {w: 0.0 for w in
+                                     range(cluster.num_workers)}
+    cache_hits = cache_misses = 0
+    for cube, cube_db in enumerate(shuffle.cube_databases):
+        worker = grid.worker_of_cube(cube)
+        cache = None
+        if cache_factory is not None:
+            cache = cache_factory(shuffle.worker_loads.get(worker, 0))
+        remaining = None if work_budget is None \
+            else max(0, work_budget - total_work)
+        if remaining == 0:
+            raise BudgetExceeded(total_work, work_budget)
+        result = leapfrog_join(local_query, cube_db, order,
+                               cache=cache, budget=remaining)
+        count += result.count
+        stats: LeapfrogStats = result.stats
+        total_work += stats.intersection_work
+        worker_work[worker] += stats.intersection_work
+        for d in range(len(order)):
+            level_tuples[d] += stats.level_tuples[d]
+        if cache is not None:
+            cache_hits += cache.hits
+            cache_misses += cache.misses
+    ledger.charge_worker_work(worker_work, phase="computation")
+    return OneRoundOutcome(
+        count=count,
+        level_tuples=level_tuples,
+        leapfrog_work=total_work,
+        shuffled_tuples=shuffle.stats.tuple_copies,
+        max_worker_tuples=shuffle.stats.max_worker_tuples,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        worker_work=worker_work,
+        worker_loads=dict(shuffle.worker_loads),
+    )

@@ -1,0 +1,67 @@
+"""Shared exception types for the repro library.
+
+Keeping the hierarchy in one module lets callers catch ``ReproError`` for
+any library-level failure while engines and benches discriminate on the
+specific subclasses (e.g. the paper's OOM / 12-hour-timeout failure modes
+map onto :class:`OutOfMemory` and :class:`BudgetExceeded`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation or query was constructed with an inconsistent schema."""
+
+
+class QueryParseError(ReproError):
+    """The textual query could not be parsed."""
+
+
+class PlanError(ReproError):
+    """A query plan is invalid (bad traversal order, uncovered relation...)."""
+
+
+class DecompositionError(ReproError):
+    """No valid hypertree decomposition could be constructed."""
+
+
+class EstimationError(ReproError):
+    """The sampling-based cardinality estimator could not produce a value."""
+
+
+class OutOfMemory(ReproError):
+    """A simulated server exceeded its memory budget.
+
+    Mirrors the paper's OOM failures (Sec. VII-C: "If an approach failed in
+    a test-case due to insufficient memory, the figure will show a space
+    instead of a bar").
+    """
+
+    def __init__(self, server_id: int, used: int, budget: int):
+        self.server_id = server_id
+        self.used = used
+        self.budget = budget
+        super().__init__(
+            f"server {server_id} exceeded memory budget: used {used} tuples, "
+            f"budget {budget} tuples"
+        )
+
+
+class BudgetExceeded(ReproError):
+    """An engine exceeded its work budget.
+
+    Mirrors the paper's 12-hour timeout ("we show a bar reaching the
+    frame-top"); our budget is counted in deterministic work units instead
+    of wall-clock hours.
+    """
+
+    def __init__(self, work_done: int, budget: int):
+        self.work_done = work_done
+        self.budget = budget
+        super().__init__(
+            f"work budget exceeded: {work_done} work units > budget {budget}"
+        )

@@ -1,0 +1,22 @@
+"""Generalized hypertree decompositions and fractional covers."""
+
+from .decomposition import Bag, Hypertree, enumerate_ghds, optimal_hypertree
+from .fractional import (
+    FractionalCover,
+    fractional_cover_number,
+    fractional_edge_cover,
+    log_agm_exponent,
+    vertex_cover_lp,
+)
+
+__all__ = [
+    "Bag",
+    "Hypertree",
+    "enumerate_ghds",
+    "optimal_hypertree",
+    "FractionalCover",
+    "fractional_cover_number",
+    "fractional_edge_cover",
+    "log_agm_exponent",
+    "vertex_cover_lp",
+]

@@ -1,0 +1,31 @@
+"""Query layer: join queries, hypergraphs, parser, paper catalog."""
+
+from .catalog import (
+    PAPER_QUERIES,
+    easy_query_names,
+    example_query,
+    hard_query_names,
+    paper_query,
+    triangle_query,
+)
+from .hypergraph import Hypergraph
+from .parser import parse_query
+from .query import Atom, JoinQuery
+from .spj import Predicate, SPJQuery, evaluate_spj, push_down_selections
+
+__all__ = [
+    "Predicate",
+    "SPJQuery",
+    "evaluate_spj",
+    "push_down_selections",
+    "Atom",
+    "JoinQuery",
+    "Hypergraph",
+    "parse_query",
+    "PAPER_QUERIES",
+    "paper_query",
+    "example_query",
+    "triangle_query",
+    "hard_query_names",
+    "easy_query_names",
+]

@@ -1,0 +1,155 @@
+"""The paper's query catalog (Fig. 7) plus the running example (Eq. 2).
+
+Q1-Q6 are spelled out in Sec. VII-A and transcribed verbatim.  Q7-Q11
+appear only as pictures; the paper omits their results because "they can
+be computed fast", so we reconstruct them as the standard easy 3-5 node
+patterns (path, star, square, 5-cycle, tailed triangle) — they are used
+for correctness tests, not for reproduced figures.
+
+Every query is a subgraph query: each atom is one edge of the pattern and
+all atoms point at the *same* input graph, instantiated per test-case by
+:mod:`repro.workloads` with one relation copy per atom (Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+from .query import Atom, JoinQuery
+
+__all__ = [
+    "triangle_query",
+    "example_query",
+    "PAPER_QUERIES",
+    "paper_query",
+    "hard_query_names",
+    "easy_query_names",
+]
+
+
+def _edges_query(name: str, edges: list[tuple[str, str]]) -> JoinQuery:
+    atoms = [Atom(f"R{i + 1}", (u, v)) for i, (u, v) in enumerate(edges)]
+    return JoinQuery(atoms, name=name)
+
+
+def triangle_query() -> JoinQuery:
+    """Q1, the triangle: R1(a,b) >< R2(b,c) >< R3(a,c)."""
+    return _edges_query("Q1", [("a", "b"), ("b", "c"), ("a", "c")])
+
+
+def _q2() -> JoinQuery:
+    # 4-clique on {a,b,c,d}.
+    return _edges_query("Q2", [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "c"), ("b", "d"),
+    ])
+
+
+def _q3() -> JoinQuery:
+    # 5-clique on {a,b,c,d,e} (10 edges, exactly as listed in Sec. VII-A).
+    return _edges_query("Q3", [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a"),
+        ("b", "d"), ("b", "e"), ("c", "a"), ("c", "e"), ("a", "d"),
+    ])
+
+
+def _q4() -> JoinQuery:
+    # 5-cycle plus the (b,e) chord ("house").
+    return _edges_query("Q4", [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a"),
+        ("b", "e"),
+    ])
+
+
+def _q5() -> JoinQuery:
+    # Q4 plus the (b,d) chord.
+    return _edges_query("Q5", [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a"),
+        ("b", "e"), ("b", "d"),
+    ])
+
+
+def _q6() -> JoinQuery:
+    # Q5 plus the (c,e) chord.
+    return _edges_query("Q6", [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a"),
+        ("b", "e"), ("b", "d"), ("c", "e"),
+    ])
+
+
+def _q7() -> JoinQuery:
+    # Path of length two (reconstructed; Fig. 7 picture only).
+    return _edges_query("Q7", [("a", "b"), ("b", "c")])
+
+
+def _q8() -> JoinQuery:
+    # Star with three leaves (reconstructed).
+    return _edges_query("Q8", [("a", "b"), ("a", "c"), ("a", "d")])
+
+
+def _q9() -> JoinQuery:
+    # 4-cycle (reconstructed).
+    return _edges_query("Q9", [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+
+
+def _q10() -> JoinQuery:
+    # 5-cycle (reconstructed).
+    return _edges_query("Q10", [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a"),
+    ])
+
+
+def _q11() -> JoinQuery:
+    # Tailed triangle (reconstructed).
+    return _edges_query("Q11", [
+        ("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"),
+    ])
+
+
+def example_query() -> JoinQuery:
+    """The running example of Eq. (2):
+
+    ``Q(a,b,c,d,e) :- R1(a,b,c) >< R2(a,d) >< R3(c,d) >< R4(b,e) >< R5(c,e)``
+    """
+    return JoinQuery(
+        [
+            Atom("R1", ("a", "b", "c")),
+            Atom("R2", ("a", "d")),
+            Atom("R3", ("c", "d")),
+            Atom("R4", ("b", "e")),
+            Atom("R5", ("c", "e")),
+        ],
+        name="Qex",
+    )
+
+
+PAPER_QUERIES: dict[str, JoinQuery] = {
+    "Q1": triangle_query(),
+    "Q2": _q2(),
+    "Q3": _q3(),
+    "Q4": _q4(),
+    "Q5": _q5(),
+    "Q6": _q6(),
+    "Q7": _q7(),
+    "Q8": _q8(),
+    "Q9": _q9(),
+    "Q10": _q10(),
+    "Q11": _q11(),
+}
+
+
+def paper_query(name: str) -> JoinQuery:
+    """Fetch a catalog query by name ('Q1' ... 'Q11')."""
+    try:
+        return PAPER_QUERIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown query {name!r}; choose from {tuple(PAPER_QUERIES)}"
+        ) from None
+
+
+def hard_query_names() -> tuple[str, ...]:
+    """Queries the paper reports results for (Sec. VII-A)."""
+    return ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6")
+
+
+def easy_query_names() -> tuple[str, ...]:
+    """Queries the paper omits as uniformly fast."""
+    return ("Q7", "Q8", "Q9", "Q10", "Q11")

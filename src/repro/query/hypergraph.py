@@ -1,0 +1,129 @@
+"""Query hypergraphs H = (V, E): vertices are attributes, edges are schemas."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import SchemaError
+from .query import JoinQuery
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """The hypergraph representation of a join query (Sec. II).
+
+    ``vertices`` are query attributes; ``edges[i]`` is the attribute set of
+    atom ``i`` (edge identity is the atom index, so parallel edges with the
+    same attribute set are preserved — Q1's three copies of a graph are
+    three distinct edges).
+    """
+
+    def __init__(self, vertices: Iterable[str],
+                 edges: Sequence[frozenset[str] | set[str]]):
+        self.vertices: tuple[str, ...] = tuple(vertices)
+        vertex_set = set(self.vertices)
+        if len(vertex_set) != len(self.vertices):
+            raise SchemaError("duplicate vertices in hypergraph")
+        self.edges: tuple[frozenset[str], ...] = tuple(
+            frozenset(e) for e in edges)
+        for i, e in enumerate(self.edges):
+            if not e:
+                raise SchemaError(f"edge {i} is empty")
+            if not e <= vertex_set:
+                raise SchemaError(
+                    f"edge {i} = {set(e)} uses unknown vertices")
+
+    @classmethod
+    def of_query(cls, query: JoinQuery) -> "Hypergraph":
+        return cls(query.attributes,
+                   [frozenset(a.attributes) for a in query.atoms])
+
+    # -- protocol -------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        edges = ", ".join("{" + ",".join(sorted(e)) + "}" for e in self.edges)
+        return f"Hypergraph(V={set(self.vertices)}, E=[{edges}])"
+
+    # -- structure ------------------------------------------------------------
+
+    def edges_with(self, vertex: str) -> tuple[int, ...]:
+        """Indices of edges containing ``vertex``."""
+        return tuple(i for i, e in enumerate(self.edges) if vertex in e)
+
+    def vertex_neighbors(self, vertex: str) -> frozenset[str]:
+        """Vertices sharing an edge with ``vertex`` (excluding itself)."""
+        out: set[str] = set()
+        for e in self.edges:
+            if vertex in e:
+                out |= e
+        out.discard(vertex)
+        return frozenset(out)
+
+    def is_connected(self) -> bool:
+        if not self.edges:
+            return len(self.vertices) <= 1
+        remaining = set(range(1, len(self.edges)))
+        frontier = set(self.edges[0])
+        changed = True
+        while changed and remaining:
+            changed = False
+            for i in list(remaining):
+                if frontier & self.edges[i]:
+                    frontier |= self.edges[i]
+                    remaining.discard(i)
+                    changed = True
+        covered = frontier | {v for i in remaining for v in self.edges[i]}
+        return not remaining and covered >= set(self.vertices)
+
+    def induced_by_edges(self, edge_indices: Sequence[int]) -> "Hypergraph":
+        """Subhypergraph of a subset of edges (vertices restricted to them)."""
+        idx = list(edge_indices)
+        edges = [self.edges[i] for i in idx]
+        verts = [v for v in self.vertices if any(v in e for e in edges)]
+        return Hypergraph(verts, edges)
+
+    def is_alpha_acyclic(self) -> bool:
+        """GYO reduction test for alpha-acyclicity.
+
+        Repeatedly (a) remove *ear* vertices that appear in exactly one
+        edge, and (b) remove edges contained in another edge.  The
+        hypergraph is alpha-acyclic iff everything vanishes.
+        """
+        edges = [set(e) for e in self.edges]
+        changed = True
+        while changed:
+            changed = False
+            # Rule (b): drop edges contained in another edge.
+            kept: list[set[str]] = []
+            for i, e in enumerate(edges):
+                contained = any(
+                    j != i and e <= other
+                    and (e != other or j < i)  # drop one of two equal edges
+                    for j, other in enumerate(edges)
+                )
+                if contained:
+                    changed = True
+                else:
+                    kept.append(e)
+            edges = kept
+            # Rule (a): remove vertices occurring in exactly one edge.
+            counts: dict[str, int] = {}
+            for e in edges:
+                for v in e:
+                    counts[v] = counts.get(v, 0) + 1
+            for e in edges:
+                lonely = {v for v in e if counts[v] == 1}
+                if lonely:
+                    e -= lonely
+                    changed = True
+            edges = [e for e in edges if e]
+        return not edges

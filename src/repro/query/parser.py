@@ -1,0 +1,88 @@
+"""A small textual syntax for join queries.
+
+Accepted forms::
+
+    Q(a, b, c) :- R1(a, b), R2(b, c), R3(a, c)
+    R1(a, b) >< R2(b, c) >< R3(a, c)
+
+The head, when present, must list exactly the union of body variables
+(natural joins have no projection in this library).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QueryParseError
+from .query import Atom, JoinQuery
+
+__all__ = ["parse_query"]
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_]\w*)\s*\(\s*([^()]*?)\s*\)\s*")
+
+
+def _parse_atom(text: str) -> Atom:
+    m = _ATOM_RE.fullmatch(text)
+    if not m:
+        raise QueryParseError(f"cannot parse atom {text!r}")
+    name, args = m.group(1), m.group(2)
+    attrs = tuple(a.strip() for a in args.split(",") if a.strip())
+    if not attrs:
+        raise QueryParseError(f"atom {text!r} has no attributes")
+    return Atom(name, attrs)
+
+
+def _split_atoms(body: str) -> list[str]:
+    """Split on commas / join symbols that sit *between* atoms."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError(f"unbalanced parentheses in {body!r}")
+        if depth == 0 and ch in ",&":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise QueryParseError(f"unbalanced parentheses in {body!r}")
+    parts.append("".join(current))
+    cleaned = []
+    for p in parts:
+        p = p.replace("><", " ").replace("|><|", " ")
+        for chunk in _ATOM_RE.finditer(p):
+            cleaned.append(chunk.group(0))
+    return cleaned
+
+
+def parse_query(text: str, name: str | None = None) -> JoinQuery:
+    """Parse a join query from text (see module docstring for the syntax)."""
+    text = text.strip()
+    if not text:
+        raise QueryParseError("empty query text")
+    head_attrs: tuple[str, ...] | None = None
+    query_name = name or "Q"
+    if ":-" in text:
+        head_text, body = text.split(":-", 1)
+        head = _parse_atom(head_text)
+        head_attrs = head.attributes
+        if name is None:
+            query_name = head.relation
+    else:
+        body = text
+    atom_texts = _split_atoms(body)
+    if not atom_texts:
+        raise QueryParseError(f"no atoms found in {text!r}")
+    atoms = [_parse_atom(t) for t in atom_texts]
+    query = JoinQuery(atoms, name=query_name)
+    if head_attrs is not None and set(head_attrs) != set(query.attributes):
+        raise QueryParseError(
+            f"head variables {head_attrs} differ from body variables "
+            f"{query.attributes}; projection is not supported"
+        )
+    return query

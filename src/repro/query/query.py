@@ -1,0 +1,156 @@
+"""Natural join queries (Eq. 1 of the paper) and their atoms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import SchemaError
+
+__all__ = ["Atom", "JoinQuery"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One relation occurrence in a join query.
+
+    ``relation`` names a relation in the database; ``attributes`` are the
+    query variables bound to its columns, in column order.  The same
+    relation may appear in several atoms under different variables (e.g.
+    every edge atom of a subgraph query points at the same graph).
+    """
+
+    relation: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self):
+        attrs = tuple(self.attributes)
+        object.__setattr__(self, "attributes", attrs)
+        if not attrs:
+            raise SchemaError(f"atom {self.relation} has no attributes")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(
+                f"atom {self.relation}{attrs} repeats a variable; "
+                "self-joins on a variable are not supported"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.attributes)})"
+
+
+class JoinQuery:
+    """A natural join query ``Q :- A1 |><| A2 |><| ... |><| Am``.
+
+    Attributes (query variables) are identified across atoms by name; the
+    query's schema is the union of atom schemas in first-appearance order
+    (the paper's arbitrary base order ``ord``).
+    """
+
+    def __init__(self, atoms: Iterable[Atom | tuple], name: str = "Q"):
+        normalized: list[Atom] = []
+        for a in atoms:
+            if isinstance(a, Atom):
+                normalized.append(a)
+            else:
+                rel, attrs = a
+                normalized.append(Atom(rel, tuple(attrs)))
+        if len(normalized) < 1:
+            raise SchemaError("a join query needs at least one atom")
+        self.name = name
+        self.atoms: tuple[Atom, ...] = tuple(normalized)
+        seen: dict[str, None] = {}
+        for atom in self.atoms:
+            for attr in atom.attributes:
+                seen.setdefault(attr, None)
+        self.attributes: tuple[str, ...] = tuple(seen)
+
+    # -- protocol -------------------------------------------------------------
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    def __repr__(self) -> str:
+        body = " >< ".join(str(a) for a in self.atoms)
+        return f"{self.name}({', '.join(self.attributes)}) :- {body}"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, JoinQuery):
+            return NotImplemented
+        return self.atoms == other.atoms
+
+    def __hash__(self) -> int:
+        return hash(self.atoms)
+
+    # -- structure ------------------------------------------------------------
+
+    def atoms_with(self, attr: str) -> tuple[Atom, ...]:
+        """Atoms whose schema contains ``attr`` (the paper's R_{i+1})."""
+        return tuple(a for a in self.atoms if attr in a.attributes)
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(a.relation for a in self.atoms)
+
+    def validate_against(self, db) -> None:
+        """Check every atom matches a database relation of the same arity."""
+        for atom in self.atoms:
+            rel = db[atom.relation]
+            if rel.arity != atom.arity:
+                raise SchemaError(
+                    f"atom {atom} has arity {atom.arity} but relation "
+                    f"{rel.name} has arity {rel.arity}"
+                )
+
+    def subquery(self, atom_indices: Sequence[int], name: str | None = None
+                 ) -> "JoinQuery":
+        """The query formed by a subset of atoms (by index)."""
+        idx = list(atom_indices)
+        if not idx:
+            raise SchemaError("subquery needs at least one atom")
+        return JoinQuery([self.atoms[i] for i in idx],
+                         name=name or f"{self.name}[{','.join(map(str, idx))}]")
+
+    def project_onto(self, attrs: Sequence[str], name: str | None = None
+                     ) -> "JoinQuery":
+        """Atoms restricted (projected) to a subset of attributes.
+
+        Atoms with no attribute in ``attrs`` are dropped; the others keep
+        only the retained variables.  This is the *prefix query* used to
+        count Leapfrog partial bindings: a prefix tuple survives iff its
+        projection is in every atom's projection (semijoin semantics).
+        Note the resulting atoms are *projections* of the stored relations;
+        engines must project the data accordingly.
+        """
+        keep = set(attrs)
+        new_atoms = []
+        for atom in self.atoms:
+            sub = tuple(a for a in atom.attributes if a in keep)
+            if sub:
+                new_atoms.append(Atom(atom.relation, sub))
+        if not new_atoms:
+            raise SchemaError(f"no atom overlaps attributes {attrs}")
+        return JoinQuery(new_atoms, name=name or f"{self.name}|prefix")
+
+    def is_connected(self) -> bool:
+        """True iff the query hypergraph is connected."""
+        if not self.atoms:
+            return True
+        remaining = set(range(1, len(self.atoms)))
+        frontier_attrs = set(self.atoms[0].attributes)
+        changed = True
+        while changed and remaining:
+            changed = False
+            for i in list(remaining):
+                if frontier_attrs & set(self.atoms[i].attributes):
+                    frontier_attrs |= set(self.atoms[i].attributes)
+                    remaining.discard(i)
+                    changed = True
+        return not remaining

@@ -1,0 +1,36 @@
+"""AGM worst-case output bounds (Atserias-Grohe-Marx; Sec. VI of the paper).
+
+The AGM bound certifies worst-case optimality of Leapfrog: for any
+fractional edge cover x of the query hypergraph, |Q(D)| <= prod_e |R_e|^x_e,
+and the minimum over covers is tight.  We solve the cover LP with
+``w_e = log |R_e|`` so the exponentiated optimum is the tightest bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..data.database import Database
+from ..ghd.fractional import fractional_edge_cover, log_agm_exponent
+from ..query.hypergraph import Hypergraph
+from ..query.query import JoinQuery
+
+__all__ = ["agm_bound", "fractional_edge_cover_number"]
+
+
+def fractional_edge_cover_number(query: JoinQuery) -> float:
+    """rho*(Q): unit-weight fractional edge cover number of the query."""
+    return fractional_edge_cover(Hypergraph.of_query(query)).objective
+
+
+def agm_bound(query: JoinQuery, db: Database) -> float:
+    """The tight AGM bound on |Q(D)|.
+
+    Returns 0.0 when any relation is empty (the join is provably empty).
+    """
+    sizes = [len(db[a.relation]) for a in query.atoms]
+    if any(s == 0 for s in sizes):
+        return 0.0
+    hypergraph = Hypergraph.of_query(query)
+    cover = log_agm_exponent(hypergraph, sizes)
+    return math.exp(cover.objective)

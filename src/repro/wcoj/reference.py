@@ -1,0 +1,39 @@
+"""Slow, obviously-correct join implementations for the test oracle."""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..data.database import Database
+from ..query.query import JoinQuery
+
+__all__ = ["brute_force_join"]
+
+
+def brute_force_join(query: JoinQuery, db: Database
+                     ) -> set[tuple[int, ...]]:
+    """Cartesian-product-and-filter evaluation of a join query.
+
+    Returns result tuples over ``query.attributes``.  Exponential; only
+    for small oracle databases in tests.
+    """
+    atom_sets = []
+    for atom in query.atoms:
+        rel = db[atom.relation]
+        atom_sets.append([
+            dict(zip(atom.attributes, t)) for t in rel.as_set()
+        ])
+    out: set[tuple[int, ...]] = set()
+    for combo in product(*atom_sets):
+        binding: dict[str, int] = {}
+        ok = True
+        for partial in combo:
+            for attr, value in partial.items():
+                if binding.setdefault(attr, value) != value:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            out.add(tuple(binding[a] for a in query.attributes))
+    return out

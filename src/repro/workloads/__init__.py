@@ -1,0 +1,13 @@
+"""Workload construction: paper test-cases and engine line-ups."""
+
+from .generators import graph_database_for, make_testcase
+from .testcases import DEFAULT_BUDGETS, TestCase, default_engines, paper_grid
+
+__all__ = [
+    "graph_database_for",
+    "make_testcase",
+    "DEFAULT_BUDGETS",
+    "TestCase",
+    "default_engines",
+    "paper_grid",
+]

@@ -1,0 +1,40 @@
+"""Test-case construction following Sec. VII-A.
+
+"For each test-case that consists of a database and a query, the database
+is constructed by allocating each relation of the query with a copy of
+the graph."  All copies share one numpy edge array, so a test-case costs
+one graph generation regardless of the query's atom count.
+"""
+
+from __future__ import annotations
+
+from ..data.database import Database
+from ..data.datasets import load_dataset
+from ..data.relation import Relation
+from ..query.catalog import paper_query
+from ..query.query import JoinQuery
+
+__all__ = ["graph_database_for", "make_testcase"]
+
+
+def graph_database_for(query: JoinQuery, edges, attributes=("src", "dst")
+                       ) -> Database:
+    """One binary relation per atom, all sharing the same edge array."""
+    base = Relation("base", attributes, edges, dedup=True)
+    db = Database()
+    for atom in query.atoms:
+        if atom.arity != 2:
+            raise ValueError(
+                f"graph test-cases need binary atoms, got {atom}")
+        if atom.relation in db:
+            continue  # two atoms may deliberately share a relation
+        db.add(Relation(atom.relation, attributes, base.data, dedup=False))
+    return db
+
+
+def make_testcase(dataset: str, query_name: str, scale: float | None = None,
+                  seed: int | None = None) -> tuple[JoinQuery, Database]:
+    """(query, database) for a paper test-case like ('lj', 'Q5')."""
+    query = paper_query(query_name)
+    edges = load_dataset(dataset, scale=scale, seed=seed)
+    return query, graph_database_for(query, edges)

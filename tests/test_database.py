@@ -1,0 +1,152 @@
+"""Unit tests for repro.data.database and repro.data.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    Database,
+    Relation,
+    dataset_names,
+    default_scale,
+    generate_erdos_renyi_edges,
+    generate_power_law_edges,
+    load_dataset,
+    load_graph_relation,
+)
+from repro.errors import SchemaError
+
+
+def rel(name, attrs=("a", "b"), rows=((1, 2),)):
+    return Relation.from_tuples(name, attrs, rows)
+
+
+class TestDatabase:
+    def test_add_and_get(self):
+        db = Database([rel("R")])
+        assert db["R"].name == "R"
+        assert "R" in db
+        assert len(db) == 1
+
+    def test_duplicate_name_rejected(self):
+        db = Database([rel("R")])
+        with pytest.raises(SchemaError):
+            db.add(rel("R"))
+
+    def test_replace_overwrites(self):
+        db = Database([rel("R")])
+        db.replace(rel("R", rows=[(9, 9)]))
+        assert (9, 9) in db["R"]
+
+    def test_remove(self):
+        db = Database([rel("R")])
+        db.remove("R")
+        assert "R" not in db
+        with pytest.raises(SchemaError):
+            db.remove("R")
+
+    def test_missing_lookup(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db["nope"]
+
+    def test_totals(self):
+        db = Database([rel("R", rows=[(1, 2), (3, 4)]), rel("S", rows=[(1, 1)])])
+        assert db.total_tuples == 3
+        assert db.total_values == 6
+        assert db.nbytes == 6 * 8
+
+    def test_subset(self):
+        db = Database([rel("R"), rel("S")])
+        sub = db.subset(["S"])
+        assert sub.names == ("S",)
+
+    def test_renamed_copy(self):
+        db = Database([rel("R")])
+        out = db.renamed_copy({"R": "R2"})
+        assert "R2" in out and "R" not in out
+        assert "R" in db  # original untouched
+
+    def test_iteration_order_is_insertion(self):
+        db = Database([rel("B"), rel("A")])
+        assert db.names == ("B", "A")
+
+
+class TestGenerators:
+    def test_power_law_shape_and_dedup(self):
+        edges = generate_power_law_edges(300, seed=1)
+        assert edges.shape[1] == 2
+        assert edges.dtype == np.int64
+        # no self-loops
+        assert (edges[:, 0] != edges[:, 1]).all()
+        # no duplicates
+        assert np.unique(edges, axis=0).shape[0] == edges.shape[0]
+
+    def test_power_law_deterministic(self):
+        a = generate_power_law_edges(200, seed=7)
+        b = generate_power_law_edges(200, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_power_law_seed_changes_output(self):
+        a = generate_power_law_edges(200, seed=7)
+        b = generate_power_law_edges(200, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_power_law_is_heavy_tailed(self):
+        edges = generate_power_law_edges(2000, seed=3)
+        degrees = np.bincount(edges[:, 0])
+        # hubs exist: max degree far above average
+        assert degrees.max() > 5 * degrees[degrees > 0].mean()
+
+    def test_power_law_zero_edges(self):
+        assert generate_power_law_edges(0).shape == (0, 2)
+
+    def test_erdos_renyi_basic(self):
+        edges = generate_erdos_renyi_edges(150, seed=2)
+        assert edges.shape[1] == 2
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_saturation_on_tiny_node_set(self):
+        # 4 nodes -> at most 12 directed non-loop edges; must not spin.
+        edges = generate_power_law_edges(500, num_nodes=4, seed=0)
+        assert edges.shape[0] <= 12
+
+
+class TestDatasetRegistry:
+    def test_six_datasets_in_paper_order(self):
+        assert dataset_names() == ("wb", "as", "wt", "lj", "en", "ok")
+
+    def test_size_ordering_preserved(self):
+        sizes = [DATASETS[k].paper_edges for k in dataset_names()]
+        assert sizes == sorted(sizes)
+
+    def test_load_dataset_scales(self):
+        small = load_dataset("wb", scale=2e-5)
+        large = load_dataset("wb", scale=6e-5)
+        assert small.shape[0] < large.shape[0]
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            load_dataset("zz")
+
+    def test_load_accepts_trailing_underscore(self):
+        # "as" is a python keyword, so call sites may use "as_".
+        edges = load_dataset("as_", scale=2e-5)
+        assert edges.shape[0] > 0
+
+    def test_load_graph_relation(self):
+        r = load_graph_relation("wb", scale=2e-5)
+        assert r.attributes == ("src", "dst")
+        assert len(r) > 0
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            default_scale()
+
+    def test_relative_order_of_scaled_analogues(self):
+        wb = load_dataset("wb", scale=3e-5).shape[0]
+        ok = load_dataset("ok", scale=3e-5).shape[0]
+        assert wb < ok

@@ -1,0 +1,178 @@
+"""Tests for repro.engines — the five Sec. VII competitors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Database, Relation
+from repro.distributed import Cluster, CostModelParams
+from repro.engines import (
+    ADJ,
+    BigJoin,
+    HCubeJ,
+    HCubeJCache,
+    SparkSQLJoin,
+    attach_degree_order,
+    run_engine_safely,
+)
+from repro.errors import BudgetExceeded, OutOfMemory
+from repro.query import paper_query
+from repro.wcoj import leapfrog_join
+from repro.workloads import graph_database_for, make_testcase
+
+
+def all_engines(samples=30):
+    return [SparkSQLJoin(), BigJoin(), HCubeJ(), HCubeJCache(),
+            ADJ(num_samples=samples)]
+
+
+@pytest.fixture(scope="module")
+def q1_case():
+    return make_testcase("wb", "Q1", scale=2e-5)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster(num_workers=4)
+
+
+class TestEngineAgreement:
+    def test_all_engines_agree_on_q1(self, q1_case, cluster):
+        q, db = q1_case
+        expected = leapfrog_join(q, db).count
+        for engine in all_engines():
+            result = engine.run(q, db, cluster)
+            assert result.count == expected, engine.name
+
+    @pytest.mark.parametrize("qname", ["Q4", "Q9", "Q11"])
+    def test_engines_agree_on_other_queries(self, qname, cluster):
+        q = paper_query(qname)
+        rng = np.random.default_rng(42)
+        db = graph_database_for(q, rng.integers(0, 25, size=(150, 2)))
+        expected = leapfrog_join(q, db).count
+        for engine in all_engines():
+            assert engine.run(q, db, cluster).count == expected, engine.name
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_agreement_property_random_graphs(self, seed):
+        q = paper_query("Q1")
+        rng = np.random.default_rng(seed)
+        db = graph_database_for(q, rng.integers(0, 10, size=(60, 2)))
+        cluster = Cluster(num_workers=3)
+        counts = {e.name: e.run(q, db, cluster).count
+                  for e in all_engines(samples=10)}
+        assert len(set(counts.values())) == 1, counts
+
+
+class TestCostAccounting:
+    def test_every_engine_reports_positive_total(self, q1_case, cluster):
+        q, db = q1_case
+        for engine in all_engines():
+            r = engine.run(q, db, cluster)
+            assert r.total_seconds > 0, engine.name
+            assert r.shuffled_tuples >= 0
+
+    def test_one_round_engines_single_round(self, q1_case, cluster):
+        q, db = q1_case
+        for engine in (HCubeJ(), HCubeJCache(), ADJ(num_samples=20)):
+            assert engine.run(q, db, cluster).rounds == 1
+
+    def test_multi_round_engines_report_rounds(self, q1_case, cluster):
+        q, db = q1_case
+        assert SparkSQLJoin().run(q, db, cluster).rounds == q.num_atoms - 1
+        assert BigJoin().run(q, db, cluster).rounds == q.num_attributes
+
+    def test_adj_reports_phase_breakdown(self, cluster):
+        q, db = make_testcase("lj", "Q5", scale=8e-6)
+        r = ADJ(num_samples=30).run(q, db, cluster)
+        b = r.breakdown
+        assert b.optimization > 0
+        assert b.communication > 0
+        assert b.computation > 0
+        if r.extra["precomputed"]:
+            assert b.precompute > 0
+
+    def test_hcubej_optimization_tiny_vs_adj(self, cluster):
+        """Tables II-IV: Comm-First optimization is far cheaper."""
+        q, db = make_testcase("lj", "Q5", scale=8e-6)
+        hc = HCubeJ().run(q, db, cluster)
+        adj = ADJ(num_samples=30).run(q, db, cluster)
+        assert hc.breakdown.optimization < adj.breakdown.optimization
+
+
+class TestFailureModes:
+    def test_sparksql_budget(self, cluster):
+        q, db = make_testcase("lj", "Q5", scale=1.5e-5)
+        with pytest.raises(BudgetExceeded):
+            SparkSQLJoin(budget_tuples=100).run(q, db, cluster)
+
+    def test_bigjoin_budget(self, cluster):
+        q, db = make_testcase("lj", "Q5", scale=1.5e-5)
+        with pytest.raises(BudgetExceeded):
+            BigJoin(budget_bindings=10).run(q, db, cluster)
+
+    def test_hcubej_work_budget(self, cluster):
+        q, db = make_testcase("lj", "Q5", scale=1.5e-5)
+        with pytest.raises(BudgetExceeded):
+            HCubeJ(work_budget=10).run(q, db, cluster)
+
+    def test_oom_on_tiny_memory(self, q1_case):
+        q, db = q1_case
+        tiny = Cluster(num_workers=2, memory_tuples_per_worker=5)
+        with pytest.raises((OutOfMemory, Exception)):
+            HCubeJ().run(q, db, tiny)
+
+    def test_run_engine_safely_wraps_failures(self, cluster):
+        q, db = make_testcase("lj", "Q5", scale=1.5e-5)
+        r = run_engine_safely(SparkSQLJoin(budget_tuples=100), q, db,
+                              cluster)
+        assert r.failure == "budget"
+        assert not r.ok
+
+    def test_run_engine_safely_passes_success(self, q1_case, cluster):
+        q, db = q1_case
+        r = run_engine_safely(HCubeJ(), q, db, cluster)
+        assert r.ok
+
+
+class TestDegreeOrder:
+    def test_covers_all_attributes(self, q1_case):
+        q, db = q1_case
+        order = attach_degree_order(q, db)
+        assert set(order) == set(q.attributes)
+
+    def test_deterministic(self, q1_case):
+        q, db = q1_case
+        assert attach_degree_order(q, db) == attach_degree_order(q, db)
+
+
+class TestADJSpecifics:
+    def test_adj_beats_hcubej_computation_on_dense_query(self, cluster):
+        """Fig. 1(b): co-optimization slashes the computation phase."""
+        q, db = make_testcase("lj", "Q5", scale=1.5e-5)
+        hc = HCubeJ().run(q, db, cluster)
+        adj = ADJ(num_samples=30).run(q, db, cluster)
+        assert adj.count == hc.count
+        if adj.extra["precomputed"]:
+            assert adj.breakdown.computation < hc.breakdown.computation
+
+    def test_run_with_plan_override(self, cluster):
+        from repro.core import communication_first_plan
+        q, db = make_testcase("wb", "Q1", scale=2e-5)
+        plan = communication_first_plan(q, db, cluster)
+        engine = ADJ(num_samples=10)
+        r = engine.run_with_plan(plan, db, cluster)
+        assert r.count == leapfrog_join(q, db).count
+        assert r.breakdown.optimization == 0.0
+
+    def test_adj_uses_merge_impl(self):
+        assert ADJ.hcube_impl == "merge"
+        assert HCubeJ.hcube_impl == "push"
+
+    def test_cache_engine_records_cache_stats(self, cluster):
+        q, db = make_testcase("lj", "Q4", scale=1e-5)
+        r = HCubeJCache().run(q, db, cluster)
+        assert "cache_hits" in r.extra
+        assert r.extra["cache_hits"] + r.extra["cache_misses"] > 0

@@ -1,0 +1,226 @@
+"""Tests for the extension modules: exhaustive search, SPJ, skew, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core import CardinalityEstimator, exhaustive_plan, optimize_plan
+from repro.data import Database, Relation
+from repro.distributed import (
+    Cluster,
+    SkewReport,
+    skew_report,
+    straggler_slowdown,
+)
+from repro.errors import SchemaError
+from repro.query import (
+    Predicate,
+    SPJQuery,
+    evaluate_spj,
+    paper_query,
+    parse_query,
+    push_down_selections,
+)
+from repro.wcoj import leapfrog_join
+from repro.workloads import graph_database_for, make_testcase
+
+
+class TestExhaustivePlan:
+    @pytest.fixture(scope="class")
+    def q5_case(self):
+        return make_testcase("lj", "Q5", scale=8e-6)
+
+    def test_explores_full_space(self, q5_case):
+        q, db = q5_case
+        cluster = Cluster(num_workers=4)
+        est = CardinalityEstimator(db, num_samples=30, seed=0)
+        report = exhaustive_plan(q, db, cluster, estimator=est)
+        tree = report.plan.hypertree
+        multi = sum(1 for b in tree.bags if not b.is_single_atom)
+        traversals = len(list(tree.traversal_orders()))
+        assert report.explored_configurations == traversals * 2 ** multi
+
+    def test_greedy_not_better_than_exhaustive(self, q5_case):
+        """Algorithm 2 can at best match the oracle (same cost model)."""
+        q, db = q5_case
+        cluster = Cluster(num_workers=4)
+        est = CardinalityEstimator(db, num_samples=30, seed=0)
+        greedy = optimize_plan(q, db, cluster, estimator=est)
+        est2 = CardinalityEstimator(db, num_samples=30, seed=0)
+        oracle = exhaustive_plan(q, db, cluster, estimator=est2)
+        assert oracle.plan.estimated_cost <= \
+            greedy.plan.estimated_cost * 1.0001
+
+    def test_exhaustive_plan_valid_and_executable(self, q5_case):
+        q, db = q5_case
+        cluster = Cluster(num_workers=4)
+        est = CardinalityEstimator(db, num_samples=30, seed=0)
+        plan = exhaustive_plan(q, db, cluster, estimator=est).plan
+        from repro.engines import ADJ
+        result = ADJ(num_samples=10).run_with_plan(plan, db, cluster)
+        assert result.count == leapfrog_join(q, db).count
+
+
+class TestSPJ:
+    @pytest.fixture()
+    def tri(self):
+        q = paper_query("Q1")
+        rng = np.random.default_rng(0)
+        db = graph_database_for(q, rng.integers(0, 20, size=(200, 2)))
+        return q, db
+
+    def test_predicate_ops(self):
+        col = np.array([1, 5, 9], dtype=np.int64)
+        assert Predicate("a", "<", 5).mask(col).tolist() == [True, False,
+                                                             False]
+        assert Predicate("a", "=", 5).mask(col).tolist() == [False, True,
+                                                             False]
+        assert Predicate("a", ">=", 5).mask(col).tolist() == [False, True,
+                                                              True]
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            Predicate("a", "~", 3)
+
+    def test_unknown_selection_attr_rejected(self, tri):
+        q, _ = tri
+        with pytest.raises(SchemaError):
+            SPJQuery(q, selections=(Predicate("zz", "=", 1),))
+
+    def test_unknown_projection_attr_rejected(self, tri):
+        q, _ = tri
+        with pytest.raises(SchemaError):
+            SPJQuery(q, projection=("a", "zz"))
+
+    def test_selection_matches_posthoc_filter(self, tri):
+        q, db = tri
+        spj = SPJQuery(q, selections=(Predicate("a", "<", 10),))
+        out = evaluate_spj(spj, db)
+        full = leapfrog_join(q, db, materialize=True).relation
+        expected = {t for t in full.as_set() if t[0] < 10}
+        assert out.as_set() == expected
+
+    def test_multiple_selections(self, tri):
+        q, db = tri
+        spj = SPJQuery(q, selections=(Predicate("a", "<", 10),
+                                      Predicate("b", ">=", 5)))
+        out = evaluate_spj(spj, db)
+        full = leapfrog_join(q, db, materialize=True).relation
+        expected = {t for t in full.as_set() if t[0] < 10 and t[1] >= 5}
+        assert out.as_set() == expected
+
+    def test_projection_dedups(self, tri):
+        q, db = tri
+        spj = SPJQuery(q, projection=("a",))
+        out = evaluate_spj(spj, db)
+        full = leapfrog_join(q, db, materialize=True).relation
+        assert out.as_set() == {(t[0],) for t in full.as_set()}
+
+    def test_pushdown_shrinks_database(self, tri):
+        q, db = tri
+        spj = SPJQuery(q, selections=(Predicate("a", "<", 5),))
+        reduced, reduced_q = push_down_selections(spj, db)
+        # R1(a,b) and R3(a,c) contain 'a' and must shrink; R2 must not.
+        assert len(reduced["R1@0"]) < len(db["R1"])
+        assert len(reduced["R2@1"]) == len(db["R2"])
+        assert reduced_q.num_atoms == q.num_atoms
+
+    def test_engine_backed_evaluation(self, tri):
+        from repro.engines import HCubeJ
+        q, db = tri
+        spj = SPJQuery(q, selections=(Predicate("a", "<", 12),),
+                       projection=("a", "b"))
+        out = evaluate_spj(spj, db, engine=HCubeJ(),
+                           cluster=Cluster(num_workers=3))
+        full = leapfrog_join(q, db, materialize=True).relation
+        expected = {(t[0], t[1]) for t in full.as_set() if t[0] < 12}
+        assert out.as_set() == expected
+
+    def test_engine_without_cluster_rejected(self, tri):
+        from repro.engines import HCubeJ
+        q, db = tri
+        with pytest.raises(SchemaError):
+            evaluate_spj(SPJQuery(q), db, engine=HCubeJ())
+
+    def test_empty_selection_result(self, tri):
+        q, db = tri
+        spj = SPJQuery(q, selections=(Predicate("a", ">", 10 ** 9),))
+        assert len(evaluate_spj(spj, db)) == 0
+
+
+class TestSkew:
+    def test_balanced_loads(self):
+        r = skew_report([10.0, 10.0, 10.0, 10.0])
+        assert r.imbalance == pytest.approx(1.0)
+        assert r.cv == pytest.approx(0.0)
+        assert r.gini == pytest.approx(0.0)
+
+    def test_single_straggler(self):
+        r = skew_report({0: 100.0, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert r.imbalance == pytest.approx(4.0)
+        assert r.gini > 0.7
+
+    def test_straggler_slowdown(self):
+        assert straggler_slowdown([10, 10, 10, 10]) == pytest.approx(1.0)
+        assert straggler_slowdown([40, 0, 0, 0]) == pytest.approx(4.0)
+
+    def test_zero_loads(self):
+        assert straggler_slowdown([0.0, 0.0]) == 1.0
+        assert skew_report([0.0, 0.0]).gini == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            skew_report([])
+
+    def test_mapping_and_sequence_agree(self):
+        assert skew_report({0: 3.0, 1: 7.0}) == skew_report([3.0, 7.0])
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        from repro.cli import main
+        assert main(["datasets", "--scale", "2e-5"]) == 0
+        out = capsys.readouterr().out
+        assert "wb" in out and "ok" in out
+
+    def test_queries_command(self, capsys):
+        from repro.cli import main
+        assert main(["queries"]) == 0
+        assert "Q11" in capsys.readouterr().out
+
+    def test_run_command_single_engine(self, capsys):
+        from repro.cli import main
+        code = main(["run", "wb", "Q1", "--engine", "hcubej",
+                     "--scale", "1e-5", "--workers", "2"])
+        assert code == 0
+        assert "HCubeJ" in capsys.readouterr().out
+
+    def test_run_command_all_engines(self, capsys):
+        from repro.cli import main
+        code = main(["run", "wb", "Q1", "--engine", "all",
+                     "--scale", "1e-5", "--workers", "2",
+                     "--samples", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("SparkSQL", "BigJoin", "HCubeJ", "ADJ", "Yannakakis"):
+            assert name in out
+
+    def test_plan_command(self, capsys):
+        from repro.cli import main
+        code = main(["plan", "lj", "Q5", "--scale", "8e-6",
+                     "--samples", "20", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hypertree" in out and "rewritten" in out
+
+    def test_estimate_command_with_check(self, capsys):
+        from repro.cli import main
+        code = main(["estimate", "wb", "Q1", "--scale", "1e-5",
+                     "--samples", "50", "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out and "true" in out
+
+    def test_unknown_query_rejected(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["run", "wb", "Q99"])

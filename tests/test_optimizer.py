@@ -1,0 +1,123 @@
+"""Tests for repro.core.optimizer — Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CardinalityEstimator,
+    Optimizer,
+    communication_first_plan,
+    optimize_plan,
+)
+from repro.data import Database, Relation
+from repro.distributed import Cluster, CostModelParams
+from repro.ghd import optimal_hypertree
+from repro.query import example_query, paper_query
+from repro.workloads import make_testcase
+
+
+@pytest.fixture(scope="module")
+def q5_case():
+    return make_testcase("lj", "Q5", scale=8e-6)
+
+
+@pytest.fixture(scope="module")
+def q5_report(q5_case):
+    q, db = q5_case
+    est = CardinalityEstimator(db, num_samples=40, seed=0)
+    return optimize_plan(q, db, Cluster(num_workers=4), estimator=est)
+
+
+class TestAlgorithm2:
+    def test_plan_is_valid(self, q5_report):
+        plan = q5_report.plan
+        assert plan.hypertree.is_traversal_order(plan.traversal)
+        assert plan.hypertree.is_valid_attribute_order(plan.attribute_order)
+
+    def test_lemma1_exploration_bound(self, q5_report):
+        """Alg. 2 evaluates O(0.5 * 2n*(2n*-1)) configurations."""
+        n_star = q5_report.plan.hypertree.num_bags
+        bound = (2 * n_star) * (2 * n_star - 1) // 2
+        assert 0 < q5_report.explored_configurations <= bound
+
+    def test_traversal_covers_all_bags(self, q5_report):
+        plan = q5_report.plan
+        assert sorted(plan.traversal) == sorted(
+            b.index for b in plan.hypertree.bags)
+
+    def test_precompute_only_multi_atom_bags(self, q5_report):
+        plan = q5_report.plan
+        bags = {b.index: b for b in plan.hypertree.bags}
+        for idx in plan.precompute:
+            assert not bags[idx].is_single_atom
+
+    def test_sampling_work_recorded(self, q5_report):
+        assert q5_report.sampling_work > 0
+        assert q5_report.wall_seconds > 0
+
+    def test_cost_trace_one_entry_per_bag(self, q5_report):
+        assert len(q5_report.cost_trace) == q5_report.plan.hypertree.num_bags
+
+    def test_deterministic_given_seed(self, q5_case):
+        q, db = q5_case
+        cluster = Cluster(num_workers=4)
+        plans = []
+        for _ in range(2):
+            est = CardinalityEstimator(db, num_samples=40, seed=7)
+            plans.append(optimize_plan(q, db, cluster, estimator=est).plan)
+        assert plans[0].traversal == plans[1].traversal
+        assert plans[0].precompute == plans[1].precompute
+        assert plans[0].attribute_order == plans[1].attribute_order
+
+
+class TestCostSensitivity:
+    """The optimizer must react to the cost-model rates the way the
+    paper describes the communication/computation trade-off."""
+
+    def _plan_with(self, q, db, params):
+        cluster = Cluster(num_workers=4, params=params)
+        est = CardinalityEstimator(db, num_samples=40, seed=0)
+        return optimize_plan(q, db, cluster, estimator=est).plan
+
+    def test_free_computation_discourages_precompute(self, q5_case):
+        """If computing is (nearly) free, trading communication for
+        computation is pointless — nothing should be pre-computed."""
+        q, db = q5_case
+        params = CostModelParams(beta_work=1e15, beta_trie_lookup=1e15)
+        plan = self._plan_with(q, db, params)
+        assert plan.precompute == frozenset()
+
+    def test_free_communication_encourages_precompute(self, q5_case):
+        """If shuffling is free, pre-computing only costs its join work
+        and saves Leapfrog work — the dense Q5 should pre-compute."""
+        q, db = q5_case
+        params = CostModelParams(alpha_push=1e15, alpha_pull=1e15,
+                                 alpha_merge=1e15, block_latency=0.0)
+        plan = self._plan_with(q, db, params)
+        assert plan.precompute != frozenset()
+
+
+class TestCommunicationFirst:
+    def test_no_precompute(self, q5_case):
+        q, db = q5_case
+        plan = communication_first_plan(q, db, Cluster(num_workers=4))
+        assert plan.precompute == frozenset()
+        assert plan.hypertree.is_valid_attribute_order(plan.attribute_order)
+
+    def test_reuses_supplied_hypertree(self, q5_case):
+        q, db = q5_case
+        tree = optimal_hypertree(q)
+        plan = communication_first_plan(q, db, Cluster(num_workers=4),
+                                        hypertree=tree)
+        assert plan.hypertree is tree
+
+
+class TestSingleBagQueries:
+    def test_triangle_optimizes_without_error(self):
+        q, db = make_testcase("wb", "Q1", scale=2e-5)
+        report = optimize_plan(q, db, Cluster(num_workers=4),
+                               estimator=CardinalityEstimator(
+                                   db, num_samples=30, seed=0))
+        # Q1's optimal hypertree is one bag: nothing to pre-compute.
+        assert report.plan.traversal == (0,)
+        assert report.plan.precompute == frozenset()

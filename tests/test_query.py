@@ -1,0 +1,234 @@
+"""Unit tests for repro.query (query model, hypergraph, parser, catalog)."""
+
+import pytest
+
+from repro.data import Database, Relation
+from repro.errors import QueryParseError, SchemaError
+from repro.query import (
+    Atom,
+    Hypergraph,
+    JoinQuery,
+    PAPER_QUERIES,
+    easy_query_names,
+    example_query,
+    hard_query_names,
+    paper_query,
+    parse_query,
+    triangle_query,
+)
+
+
+class TestAtom:
+    def test_str(self):
+        assert str(Atom("R", ("a", "b"))) == "R(a, b)"
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("R", ("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("R", ())
+
+
+class TestJoinQuery:
+    def test_attribute_union_in_first_seen_order(self):
+        q = JoinQuery([("R1", ("b", "a")), ("R2", ("a", "c"))])
+        assert q.attributes == ("b", "a", "c")
+
+    def test_atoms_with(self):
+        q = triangle_query()
+        assert tuple(a.relation for a in q.atoms_with("a")) == ("R1", "R3")
+
+    def test_tuple_atoms_coerced(self):
+        q = JoinQuery([("R", ("a", "b"))])
+        assert isinstance(q.atoms[0], Atom)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(SchemaError):
+            JoinQuery([])
+
+    def test_equality_and_hash(self):
+        assert triangle_query() == triangle_query()
+        assert hash(triangle_query()) == hash(triangle_query())
+        assert triangle_query() != example_query()
+
+    def test_subquery(self):
+        q = triangle_query()
+        sub = q.subquery([0, 2])
+        assert sub.relation_names() == ("R1", "R3")
+        assert sub.attributes == ("a", "b", "c")
+
+    def test_project_onto_drops_disjoint_atoms(self):
+        q = example_query()
+        p = q.project_onto(["a", "b"])
+        # R3(c,d), R5(c,e) have no overlap with {a,b}; R1 keeps (a,b).
+        rels = p.relation_names()
+        assert "R3" not in rels and "R5" not in rels
+        assert p.atoms[0].attributes == ("a", "b")
+
+    def test_project_onto_nothing_rejected(self):
+        q = triangle_query()
+        with pytest.raises(SchemaError):
+            q.project_onto(["z"])
+
+    def test_is_connected(self):
+        assert triangle_query().is_connected()
+        q = JoinQuery([("R", ("a", "b")), ("S", ("x", "y"))])
+        assert not q.is_connected()
+
+    def test_validate_against(self):
+        db = Database([Relation("R1", ("x", "y"), [(1, 2)])])
+        q = JoinQuery([("R1", ("a", "b"))])
+        q.validate_against(db)  # same arity: fine
+        q2 = JoinQuery([("R1", ("a", "b", "c"))])
+        with pytest.raises(SchemaError):
+            q2.validate_against(db)
+
+
+class TestHypergraph:
+    def test_of_query(self):
+        h = Hypergraph.of_query(triangle_query())
+        assert set(h.vertices) == {"a", "b", "c"}
+        assert h.num_edges == 3
+
+    def test_parallel_edges_preserved(self):
+        q = JoinQuery([("R1", ("a", "b")), ("R2", ("a", "b"))])
+        h = Hypergraph.of_query(q)
+        assert h.num_edges == 2
+
+    def test_edges_with(self):
+        h = Hypergraph.of_query(triangle_query())
+        assert h.edges_with("a") == (0, 2)
+
+    def test_vertex_neighbors(self):
+        h = Hypergraph.of_query(example_query())
+        assert h.vertex_neighbors("e") == frozenset({"b", "c"})
+
+    def test_unknown_vertex_in_edge_rejected(self):
+        with pytest.raises(SchemaError):
+            Hypergraph(["a"], [{"a", "zz"}])
+
+    def test_connectivity(self):
+        assert Hypergraph.of_query(example_query()).is_connected()
+        h = Hypergraph(["a", "b", "c", "d"], [{"a", "b"}, {"c", "d"}])
+        assert not h.is_connected()
+
+    def test_induced_by_edges(self):
+        h = Hypergraph.of_query(triangle_query())
+        sub = h.induced_by_edges([0])
+        assert set(sub.vertices) == {"a", "b"}
+
+    def test_triangle_is_cyclic(self):
+        assert not Hypergraph.of_query(triangle_query()).is_alpha_acyclic()
+
+    def test_path_is_acyclic(self):
+        q = JoinQuery([("R1", ("a", "b")), ("R2", ("b", "c"))])
+        assert Hypergraph.of_query(q).is_alpha_acyclic()
+
+    def test_example_query_is_cyclic(self):
+        assert not Hypergraph.of_query(example_query()).is_alpha_acyclic()
+
+    def test_acyclic_after_bag_merge(self):
+        # The paper's Fig. 5: replacing R2,R3 and R4,R5 by their joins
+        # makes the example query acyclic.
+        h = Hypergraph(
+            ["a", "b", "c", "d", "e"],
+            [{"a", "b", "c"}, {"a", "c", "d"}, {"b", "c", "e"}],
+        )
+        assert h.is_alpha_acyclic()
+
+
+class TestParser:
+    def test_datalog_form(self):
+        q = parse_query("Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)")
+        assert q == triangle_query()
+        assert q.name == "Q"
+
+    def test_infix_form(self):
+        q = parse_query("R1(a,b) >< R2(b,c) >< R3(a,c)")
+        assert q == triangle_query()
+
+    def test_whitespace_tolerated(self):
+        q = parse_query("  R1( a , b )  ,  R2(b,c)  ")
+        assert q.relation_names() == ("R1", "R2")
+
+    def test_head_must_match_body_vars(self):
+        with pytest.raises(QueryParseError):
+            parse_query("Q(a) :- R1(a,b)")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("hello world")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("R1(a,b")
+
+    def test_name_override(self):
+        q = parse_query("R1(a,b), R2(b,c)", name="mine")
+        assert q.name == "mine"
+
+
+class TestCatalog:
+    def test_all_eleven_queries_present(self):
+        assert set(PAPER_QUERIES) == {f"Q{i}" for i in range(1, 12)}
+
+    def test_query_shapes_match_paper(self):
+        # (num atoms, num attributes) for the transcribed queries Q1-Q6.
+        expected = {
+            "Q1": (3, 3), "Q2": (6, 4), "Q3": (10, 5),
+            "Q4": (6, 5), "Q5": (7, 5), "Q6": (8, 5),
+        }
+        for name, (m, n) in expected.items():
+            q = paper_query(name)
+            assert q.num_atoms == m, name
+            assert q.num_attributes == n, name
+
+    def test_q3_is_5_clique(self):
+        q = paper_query("Q3")
+        pairs = {frozenset(a.attributes) for a in q.atoms}
+        attrs = q.attributes
+        assert len(pairs) == 10
+        expected = {frozenset((x, y)) for i, x in enumerate(attrs)
+                    for y in attrs[i + 1:]}
+        assert pairs == expected
+
+    def test_q2_is_4_clique(self):
+        q = paper_query("Q2")
+        pairs = {frozenset(a.attributes) for a in q.atoms}
+        assert len(pairs) == 6
+
+    def test_chord_progression_q4_q5_q6(self):
+        e4 = {frozenset(a.attributes) for a in paper_query("Q4").atoms}
+        e5 = {frozenset(a.attributes) for a in paper_query("Q5").atoms}
+        e6 = {frozenset(a.attributes) for a in paper_query("Q6").atoms}
+        assert e4 < e5 < e6
+        assert e5 - e4 == {frozenset(("b", "d"))}
+        assert e6 - e5 == {frozenset(("c", "e"))}
+
+    def test_example_query_matches_eq2(self):
+        q = example_query()
+        assert q.atoms[0].attributes == ("a", "b", "c")
+        assert q.num_atoms == 5
+        assert q.attributes == ("a", "b", "c", "d", "e")
+
+    def test_all_queries_connected(self):
+        for q in PAPER_QUERIES.values():
+            assert q.is_connected(), q.name
+
+    def test_hard_easy_split(self):
+        assert set(hard_query_names()) | set(easy_query_names()) == set(
+            PAPER_QUERIES)
+        assert not set(hard_query_names()) & set(easy_query_names())
+
+    def test_unknown_query(self):
+        with pytest.raises(KeyError):
+            paper_query("Q99")
+
+    def test_lookup_case_insensitive(self):
+        assert paper_query("q4") == paper_query("Q4")

@@ -1,0 +1,225 @@
+"""Unit tests for repro.data.relation."""
+
+import numpy as np
+import pytest
+
+from repro.data import Relation, lexsorted_rows, row_group_ids
+from repro.errors import SchemaError
+
+
+def rel(name, attrs, rows):
+    return Relation.from_tuples(name, attrs, rows)
+
+
+class TestConstruction:
+    def test_from_tuples_dedups(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+        assert (1, 2) in r and (3, 4) in r
+
+    def test_empty_relation(self):
+        r = Relation("R", ("a", "b"))
+        assert len(r) == 0
+        assert not r
+        assert list(r) == []
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("a", "b"), [(1, 2, 3)])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("a", "a"), [(1, 2)])
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ())
+
+    def test_unary_from_1d(self):
+        r = Relation("R", ("a",), np.array([3, 1, 2, 1]))
+        assert len(r) == 3
+        assert r.arity == 1
+
+    def test_1d_for_binary_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("a", "b"), np.array([1, 2, 3]))
+
+    def test_data_is_readonly(self):
+        r = rel("R", ("a",), [(1,), (2,)])
+        with pytest.raises(ValueError):
+            r.data[0, 0] = 9
+
+    def test_from_edges(self):
+        r = Relation.from_edges("E", np.array([[1, 2], [2, 3]]))
+        assert r.attributes == ("src", "dst")
+        assert len(r) == 2
+
+    def test_from_edges_wrong_attrs(self):
+        with pytest.raises(SchemaError):
+            Relation.from_edges("E", np.array([[1, 2]]), attributes=("a",))
+
+
+class TestProtocol:
+    def test_contains(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        assert (1, 2) in r
+        assert (2, 1) not in r
+        assert (1,) not in r
+
+    def test_iteration_yields_python_tuples(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        (t,) = list(r)
+        assert t == (1, 2)
+        assert all(isinstance(v, int) for v in t)
+
+    def test_set_equality_ignores_row_order(self):
+        r1 = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        r2 = rel("S", ("a", "b"), [(3, 4), (1, 2)])
+        assert r1 == r2
+
+    def test_equality_needs_same_schema(self):
+        r1 = rel("R", ("a", "b"), [(1, 2)])
+        r2 = rel("R", ("b", "a"), [(1, 2)])
+        assert r1 != r2
+
+    def test_not_hashable(self):
+        r = rel("R", ("a",), [(1,)])
+        with pytest.raises(TypeError):
+            hash(r)
+
+    def test_nbytes_and_values(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        assert r.num_values == 4
+        assert r.nbytes == 4 * 8
+
+
+class TestColumns:
+    def test_column(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4), (3, 5)])
+        assert sorted(r.column("a").tolist()) == [1, 3, 3]
+
+    def test_distinct_values_sorted(self):
+        r = rel("R", ("a", "b"), [(3, 1), (1, 1), (3, 2)])
+        assert r.distinct_values("a").tolist() == [1, 3]
+
+    def test_unknown_attr(self):
+        r = rel("R", ("a",), [(1,)])
+        with pytest.raises(SchemaError):
+            r.column("z")
+
+
+class TestAlgebra:
+    def test_project_dedups(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3)])
+        p = r.project(("a",))
+        assert p.attributes == ("a",)
+        assert len(p) == 1
+
+    def test_project_reorders(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        p = r.project(("b", "a"))
+        assert (2, 1) in p
+
+    def test_rename(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        s = r.rename({"a": "x"})
+        assert s.attributes == ("x", "b")
+        assert (1, 2) in s
+
+    def test_reorder_requires_permutation(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            r.reorder(("a",))
+
+    def test_select_equals(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        s = r.select_equals("a", 1)
+        assert len(s) == 2
+        assert all(t[0] == 1 for t in s)
+
+    def test_select_in(self):
+        r = rel("R", ("a", "b"), [(1, 2), (2, 3), (3, 4)])
+        s = r.select_in("a", np.array([1, 3]))
+        assert len(s) == 2
+
+    def test_semijoin_basic(self):
+        r = rel("R", ("a", "b"), [(1, 2), (2, 3), (4, 5)])
+        s = rel("S", ("b", "c"), [(2, 9), (5, 9)])
+        out = r.semijoin(s)
+        assert out.as_set() == {(1, 2), (4, 5)}
+
+    def test_semijoin_no_common_attrs_keeps_all(self):
+        r = rel("R", ("a",), [(1,), (2,)])
+        s = rel("S", ("b",), [(9,)])
+        assert len(r.semijoin(s)) == 2
+
+    def test_semijoin_no_common_attrs_empty_other(self):
+        r = rel("R", ("a",), [(1,)])
+        s = Relation("S", ("b",))
+        assert len(r.semijoin(s)) == 0
+
+    def test_natural_join_basic(self):
+        r = rel("R", ("a", "b"), [(1, 2), (2, 3)])
+        s = rel("S", ("b", "c"), [(2, 5), (2, 6), (3, 7)])
+        out = r.natural_join(s)
+        assert out.attributes == ("a", "b", "c")
+        assert out.as_set() == {(1, 2, 5), (1, 2, 6), (2, 3, 7)}
+
+    def test_natural_join_empty_side(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        s = Relation("S", ("b", "c"))
+        assert len(r.natural_join(s)) == 0
+
+    def test_natural_join_cartesian(self):
+        r = rel("R", ("a",), [(1,), (2,)])
+        s = rel("S", ("b",), [(7,), (8,)])
+        out = r.natural_join(s)
+        assert out.as_set() == {(1, 7), (1, 8), (2, 7), (2, 8)}
+
+    def test_natural_join_same_schema_is_intersection(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        s = rel("S", ("a", "b"), [(1, 2), (5, 6)])
+        out = r.natural_join(s)
+        assert out.as_set() == {(1, 2)}
+
+    def test_natural_join_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        r = Relation("R", ("a", "b"), rng.integers(0, 6, size=(40, 2)))
+        s = Relation("S", ("b", "c"), rng.integers(0, 6, size=(40, 2)))
+        expected = {
+            (ta, tb, tc)
+            for (ta, tb) in r.as_set()
+            for (tb2, tc) in s.as_set()
+            if tb == tb2
+        }
+        assert r.natural_join(s).as_set() == expected
+
+    def test_union(self):
+        r = rel("R", ("a",), [(1,)])
+        s = rel("S", ("a",), [(2,), (1,)])
+        assert r.union(s).as_set() == {(1,), (2,)}
+
+    def test_union_schema_mismatch(self):
+        r = rel("R", ("a",), [(1,)])
+        s = rel("S", ("b",), [(2,)])
+        with pytest.raises(SchemaError):
+            r.union(s)
+
+
+class TestHelpers:
+    def test_lexsorted_rows(self):
+        arr = np.array([[2, 1], [1, 9], [1, 2]], dtype=np.int64)
+        out = lexsorted_rows(arr)
+        assert out.tolist() == [[1, 2], [1, 9], [2, 1]]
+
+    def test_row_group_ids_matching(self):
+        a = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        b = np.array([[3, 4], [5, 6]], dtype=np.int64)
+        ia, ib = row_group_ids(a, b)
+        assert ia[1] == ib[0]
+        assert ia[0] not in (ib[0], ib[1])
+
+    def test_row_group_ids_empty(self):
+        a = np.empty((0, 2), dtype=np.int64)
+        (ia,) = row_group_ids(a)
+        assert ia.shape == (0,)

@@ -1,0 +1,196 @@
+"""Unit tests for repro.data.trie."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Relation, Trie
+from repro.errors import SchemaError
+
+
+def make_trie(rows, attrs=("a", "b"), order=None):
+    rel = Relation.from_tuples("R", attrs, rows)
+    return Trie(rel, order=order)
+
+
+class TestTrieBuild:
+    def test_sorted_and_deduped(self):
+        t = make_trie([(2, 1), (1, 2), (1, 2), (1, 1)])
+        assert t.data.tolist() == [[1, 1], [1, 2], [2, 1]]
+        assert len(t) == 3
+
+    def test_order_permutes_columns(self):
+        t = make_trie([(1, 9), (2, 8)], order=("b", "a"))
+        assert t.attributes == ("b", "a")
+        assert t.data.tolist() == [[8, 2], [9, 1]]
+
+    def test_bad_order_rejected(self):
+        rel = Relation.from_tuples("R", ("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            Trie(rel, order=("a", "z"))
+
+    def test_root_span(self):
+        t = make_trie([(1, 1), (2, 2)])
+        assert t.root == (0, 2)
+
+    def test_data_readonly(self):
+        t = make_trie([(1, 1)])
+        with pytest.raises(ValueError):
+            t.data[0, 0] = 5
+
+
+class TestNavigation:
+    def test_candidates_at_root(self):
+        t = make_trie([(1, 5), (1, 6), (3, 1), (2, 2)])
+        assert t.candidates(0, *t.root).tolist() == [1, 2, 3]
+
+    def test_candidates_within_range(self):
+        t = make_trie([(1, 5), (1, 6), (2, 2)])
+        lo, hi = t.child_range(0, *t.root, 1)
+        assert t.candidates(1, lo, hi).tolist() == [5, 6]
+
+    def test_child_range_missing_value_empty(self):
+        t = make_trie([(1, 5), (2, 2)])
+        lo, hi = t.child_range(0, *t.root, 7)
+        assert lo == hi
+
+    def test_children_spans_partition_parent(self):
+        t = make_trie([(1, 5), (1, 6), (2, 2), (3, 3), (3, 4)])
+        values, starts, ends = t.children(0, *t.root)
+        assert values.tolist() == [1, 2, 3]
+        assert starts[0] == 0
+        assert ends[-1] == len(t)
+        assert (starts[1:] == ends[:-1]).all()
+
+    def test_children_empty_range(self):
+        t = make_trie([(1, 5)])
+        values, starts, ends = t.children(0, 1, 1)
+        assert values.shape == (0,)
+
+    def test_count_distinct(self):
+        t = make_trie([(1, 5), (1, 6), (2, 2)])
+        assert t.count_distinct(0, *t.root) == 2
+
+    def test_prefix_count(self):
+        t = make_trie([(1, 5), (1, 6), (2, 2)])
+        assert t.prefix_count(0) == 1
+        assert t.prefix_count(1) == 2
+        assert t.prefix_count(2) == 3
+
+    def test_prefix_count_empty(self):
+        t = Trie(Relation("R", ("a", "b")))
+        assert t.prefix_count(0) == 0
+        assert t.prefix_count(1) == 0
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        t1 = make_trie([(1, 1), (2, 2)])
+        t2 = make_trie([(2, 2), (3, 3)])
+        merged = Trie.merge([t1, t2])
+        assert merged.data.tolist() == [[1, 1], [2, 2], [3, 3]]
+
+    def test_merge_schema_mismatch(self):
+        t1 = make_trie([(1, 1)])
+        t2 = make_trie([(1, 1)], attrs=("a", "c"))
+        with pytest.raises(SchemaError):
+            Trie.merge([t1, t2])
+
+    def test_merge_empty_list(self):
+        with pytest.raises(SchemaError):
+            Trie.merge([])
+
+
+class TestTrieIterator:
+    def test_walk_enumerates_all_tuples(self):
+        rows = [(1, 5), (1, 6), (2, 2), (3, 1)]
+        t = make_trie(rows)
+        it = t.iterator()
+        seen = []
+        it.open()
+        while not it.at_end:
+            a = it.key()
+            it.open()
+            while not it.at_end:
+                seen.append((a, it.key()))
+                it.next()
+            it.up()
+            it.next()
+        assert seen == sorted(rows)
+
+    def test_seek_finds_least_upper_bound(self):
+        t = make_trie([(1, 0), (3, 0), (7, 0)])
+        it = t.iterator()
+        it.open()
+        it.seek(2)
+        assert it.key() == 3
+        it.seek(7)
+        assert it.key() == 7
+        it.seek(8)
+        assert it.at_end
+
+    def test_seek_is_monotone_no_backward(self):
+        t = make_trie([(1, 0), (5, 0)])
+        it = t.iterator()
+        it.open()
+        it.seek(5)
+        # Seeking backwards keeps the position (LFTJ contract: seek only
+        # moves forward).
+        it.seek(1)
+        assert it.key() == 5
+
+    def test_up_restores_parent_position(self):
+        t = make_trie([(1, 5), (2, 6), (2, 7)])
+        it = t.iterator()
+        it.open()          # at a=1
+        it.next()          # at a=2
+        assert it.key() == 2
+        it.open()          # at b=6
+        assert it.key() == 6
+        it.up()            # back at a=2
+        assert it.key() == 2
+        it.next()
+        assert it.at_end
+
+    def test_up_above_root_raises(self):
+        t = make_trie([(1, 1)])
+        it = t.iterator()
+        with pytest.raises(IndexError):
+            it.up()
+
+    def test_open_on_empty_trie(self):
+        t = Trie(Relation("R", ("a", "b")))
+        it = t.iterator()
+        it.open()
+        assert it.at_end
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)),
+        min_size=0, max_size=60,
+    )
+)
+def test_trie_equals_sorted_set_property(rows):
+    """The trie's flat data is exactly the sorted set of input rows."""
+    rel = Relation.from_tuples("R", ("a", "b", "c"), rows)
+    trie = Trie(rel)
+    assert [tuple(r) for r in trie.data.tolist()] == sorted(set(map(tuple, rows)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        min_size=1, max_size=40,
+    ),
+    probe=st.integers(0, 7),
+)
+def test_child_range_agrees_with_linear_scan(rows, probe):
+    rel = Relation.from_tuples("R", ("a", "b"), rows)
+    trie = Trie(rel)
+    lo, hi = trie.child_range(0, *trie.root, probe)
+    expected = sorted({t for t in set(map(tuple, rows)) if t[0] == probe})
+    assert trie.data[lo:hi].tolist() == [list(t) for t in expected]

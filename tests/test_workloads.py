@@ -1,0 +1,81 @@
+"""Tests for repro.workloads and repro.core.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import calibrate, measure_alpha, measure_beta
+from repro.distributed import CostModelParams
+from repro.query import paper_query
+from repro.workloads import (
+    DEFAULT_BUDGETS,
+    TestCase,
+    default_engines,
+    graph_database_for,
+    make_testcase,
+    paper_grid,
+)
+
+
+class TestWorkloads:
+    def test_one_relation_per_atom(self):
+        q, db = make_testcase("wb", "Q2", scale=2e-5)
+        assert set(db.names) == {a.relation for a in q.atoms}
+
+    def test_copies_share_data(self):
+        _, db = make_testcase("wb", "Q1", scale=2e-5)
+        rels = list(db)
+        assert rels[0].data is rels[1].data
+
+    def test_non_binary_atom_rejected(self):
+        from repro.query import parse_query
+        q = parse_query("R(a,b,c)")
+        with pytest.raises(ValueError):
+            graph_database_for(q, np.array([[1, 2]]))
+
+    def test_duplicate_relation_reference_ok(self):
+        from repro.query import JoinQuery
+        q = JoinQuery([("E", ("a", "b")), ("E", ("b", "c"))])
+        db = graph_database_for(q, np.array([[1, 2], [2, 3]]))
+        assert len(db) == 1
+
+    def test_paper_grid_default_size(self):
+        grid = paper_grid()
+        assert len(grid) == 6 * 6  # six datasets x Q1-Q6
+
+    def test_paper_grid_filters(self):
+        grid = paper_grid(datasets=["lj"], queries=["Q5", "Q6"])
+        assert [t.key for t in grid] == ["(LJ,Q5)", "(LJ,Q6)"]
+
+    def test_testcase_load(self):
+        tc = TestCase("wb", "Q1", scale=2e-5)
+        q, db = tc.load()
+        assert q.name == "Q1"
+        assert len(db) == 3
+
+    def test_default_engines_lineup(self):
+        engines = default_engines()
+        names = [e.name for e in engines]
+        assert names == ["SparkSQL", "BigJoin", "HCubeJ", "HCubeJ+Cache",
+                         "ADJ"]
+
+    def test_default_budgets_override(self):
+        engines = default_engines(budgets={"sparksql_tuples": 5})
+        assert engines[0].budget_tuples == 5
+        assert DEFAULT_BUDGETS["sparksql_tuples"] != 5
+
+
+class TestCalibration:
+    def test_measure_alpha_positive(self):
+        assert measure_alpha(num_tuples=5_000) > 0
+
+    def test_measure_beta_positive(self):
+        assert measure_beta(num_values=2_000, rounds=3) > 0
+
+    def test_calibrate_preserves_ratios(self):
+        base = CostModelParams()
+        cal = calibrate(base)
+        assert cal.alpha_pull / cal.alpha_push == pytest.approx(
+            base.alpha_pull / base.alpha_push, rel=1e-6)
+        assert cal.alpha_merge / cal.alpha_pull == pytest.approx(
+            base.alpha_merge / base.alpha_pull, rel=1e-6)
+        assert cal.beta_work > 0
