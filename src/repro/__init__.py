@@ -9,6 +9,7 @@ Public API highlights
 - :mod:`repro.distributed` — cluster simulator and HCube shuffles.
 - :mod:`repro.core` — the ADJ optimizer, cost model and sampler.
 - :mod:`repro.engines` — the five distributed engines compared in Sec. VII.
+- :mod:`repro.runtime` — real parallel execution backends and telemetry.
 - :mod:`repro.workloads` — paper test-case construction.
 """
 
@@ -25,6 +26,15 @@ from .engines import (
 )
 from .ghd import optimal_hypertree
 from .query import Atom, JoinQuery, paper_query, parse_query
+from .runtime import (
+    Executor,
+    ProcessExecutor,
+    RuntimeTelemetry,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+    executor_for,
+)
 from .wcoj import agm_bound, leapfrog_join
 from .workloads import graph_database_for, make_testcase
 
@@ -45,6 +55,13 @@ __all__ = [
     "HCubeJCache",
     "SparkSQLJoin",
     "run_engine_safely",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "RuntimeTelemetry",
+    "create_executor",
+    "executor_for",
     "optimal_hypertree",
     "Atom",
     "JoinQuery",

@@ -30,6 +30,7 @@ from .engines import (
 )
 from .ghd import optimal_hypertree
 from .query import PAPER_QUERIES
+from .runtime import executor_for
 from .wcoj import leapfrog_join
 from .workloads import make_testcase
 
@@ -71,27 +72,39 @@ def _cmd_queries(args) -> int:
 
 def _cmd_run(args) -> int:
     query, db = make_testcase(args.dataset, args.query, scale=args.scale)
-    cluster = Cluster(num_workers=args.workers)
+    cluster = Cluster(num_workers=args.workers, runtime=args.backend)
     names = list(_ENGINES) if args.engine == "all" else [args.engine]
     print(f"test-case ({args.dataset.upper()},{args.query}), "
           f"{len(db[query.atoms[0].relation]):,} edges/relation, "
-          f"{cluster.num_workers} workers")
+          f"{cluster.num_workers} workers, backend={args.backend}")
     print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
-          f"{'comm':>8} {'comp':>8} {'total':>8}")
+          f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8}")
     counts = set()
-    for name in names:
-        result = run_engine_safely(_build_engine(name, args.samples),
-                                   query, db, cluster)
-        if result.ok:
-            b = result.breakdown
-            print(f"{result.engine:14} {result.count:>12,} "
-                  f"{b.optimization:>8.3f} {b.precompute:>8.3f} "
-                  f"{b.communication:>8.3f} {b.computation:>8.3f} "
-                  f"{b.total:>8.3f}")
-            counts.add(result.count)
-        else:
-            print(f"{result.engine:14} {'-':>12} "
-                  f"{'FAILED (' + result.failure + ')':>44}")
+    executor = None
+    if args.backend != "serial":
+        # executor_for caps process pools at the usable CPU count.
+        executor = executor_for(cluster)
+    try:
+        for name in names:
+            result = run_engine_safely(_build_engine(name, args.samples),
+                                       query, db, cluster,
+                                       executor=executor)
+            if result.ok:
+                b = result.breakdown
+                measured = result.measured_seconds
+                wall = f"{measured:8.3f}" if measured is not None \
+                    else f"{'-':>8}"
+                print(f"{result.engine:14} {result.count:>12,} "
+                      f"{b.optimization:>8.3f} {b.precompute:>8.3f} "
+                      f"{b.communication:>8.3f} {b.computation:>8.3f} "
+                      f"{b.total:>8.3f} {wall}")
+                counts.add(result.count)
+            else:
+                print(f"{result.engine:14} {'-':>12} "
+                      f"{'FAILED (' + result.failure + ')':>44}")
+    finally:
+        if executor is not None:
+            executor.close()
     if len(counts) > 1:
         print(f"ERROR: engines disagree: {counts}", file=sys.stderr)
         return 1
@@ -162,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(run_p)
     run_p.add_argument("--engine", default="adj",
                        choices=["all", *_ENGINES])
+    run_p.add_argument("--backend", default="serial",
+                       choices=["serial", "threads", "processes"],
+                       help="runtime backend for local per-worker "
+                            "computation (default: serial)")
 
     plan_p = sub.add_parser("plan", help="show the ADJ plan for a "
                                          "test-case")

@@ -6,21 +6,33 @@ communication/computation rates.  The cluster itself is a small value
 object — data movement happens in :mod:`repro.distributed.hcube` and
 :mod:`repro.distributed.shuffle`; the cluster supplies the parameters and
 fresh cost ledgers.
+
+The ``runtime`` field is a *hint* naming the execution backend
+(:mod:`repro.runtime`) that should carry local per-cube computation:
+``serial`` keeps everything in-process (the historical simulated
+behaviour), ``threads``/``processes`` run worker tasks on a real pool.
+The hint is resolved into an :class:`repro.runtime.Executor` by
+:func:`repro.runtime.executor_for`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 
+from ..errors import ConfigError
 from .metrics import CostLedger, CostModelParams
 
-__all__ = ["Cluster", "default_workers"]
+__all__ = ["Cluster", "default_workers", "RUNTIME_BACKENDS"]
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 _DEFAULT_WORKERS = 8
+
+#: Execution backends understood by :mod:`repro.runtime`.
+RUNTIME_BACKENDS = ("serial", "threads", "processes")
 
 
 def default_workers() -> int:
@@ -28,9 +40,14 @@ def default_workers() -> int:
     raw = os.environ.get(WORKERS_ENV_VAR)
     if raw is None:
         return _DEFAULT_WORKERS
-    value = int(raw)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{WORKERS_ENV_VAR} must be an integer >= 1, got {raw!r}"
+        ) from None
     if value < 1:
-        raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {raw!r}")
+        raise ConfigError(f"{WORKERS_ENV_VAR} must be >= 1, got {raw!r}")
     return value
 
 
@@ -42,15 +59,24 @@ class Cluster:
     params: CostModelParams = field(default_factory=CostModelParams)
     #: Per-worker memory budget in tuples; None disables OOM checking.
     memory_tuples_per_worker: float | None = None
+    #: Execution backend hint: one of :data:`RUNTIME_BACKENDS`.
+    runtime: str = "serial"
 
     def __post_init__(self):
         if self.num_workers < 1:
             raise ValueError("a cluster needs at least one worker")
+        if self.runtime not in RUNTIME_BACKENDS:
+            raise ConfigError(
+                f"unknown runtime {self.runtime!r}; "
+                f"choose from {RUNTIME_BACKENDS}")
 
     def new_ledger(self) -> CostLedger:
         return CostLedger(params=self.params)
 
     def with_workers(self, num_workers: int) -> "Cluster":
         """Same configuration, different worker count (Fig. 11 sweeps)."""
-        return Cluster(num_workers=num_workers, params=self.params,
-                       memory_tuples_per_worker=self.memory_tuples_per_worker)
+        return dataclasses.replace(self, num_workers=num_workers)
+
+    def with_runtime(self, runtime: str) -> "Cluster":
+        """Same configuration, different execution backend."""
+        return dataclasses.replace(self, runtime=runtime)

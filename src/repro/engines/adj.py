@@ -19,6 +19,7 @@ from ..distributed.metrics import CostLedger
 from ..errors import PlanError
 from ..ghd.decomposition import Hypertree, optimal_hypertree
 from ..query.query import JoinQuery
+from ..runtime.executor import Executor
 from .base import EngineResult
 from .one_round import one_round_execute
 from ..core.optimizer import Optimizer, OptimizerReport
@@ -99,27 +100,31 @@ class ADJ:
 
     # -- entry points --------------------------------------------------------------
 
-    def run(self, query: JoinQuery, db: Database,
-            cluster: Cluster) -> EngineResult:
+    def run(self, query: JoinQuery, db: Database, cluster: Cluster,
+            executor: Executor | None = None) -> EngineResult:
         ledger = cluster.new_ledger()
         report = self._optimize(query, db, cluster, ledger)
         return self._execute(report.plan, db, cluster, ledger,
-                             optimizer_report=report)
+                             optimizer_report=report, executor=executor)
 
     def run_with_plan(self, plan: QueryPlan, db: Database,
-                      cluster: Cluster) -> EngineResult:
+                      cluster: Cluster,
+                      executor: Executor | None = None) -> EngineResult:
         """Execute a caller-supplied plan (ablation benches)."""
-        return self._execute(plan, db, cluster, cluster.new_ledger())
+        return self._execute(plan, db, cluster, cluster.new_ledger(),
+                             executor=executor)
 
     def _execute(self, plan: QueryPlan, db: Database, cluster: Cluster,
                  ledger: CostLedger,
-                 optimizer_report: OptimizerReport | None = None
+                 optimizer_report: OptimizerReport | None = None,
+                 executor: Executor | None = None
                  ) -> EngineResult:
         working = self._precompute(plan, db, cluster, ledger)
         rewritten = plan.rewritten_query()
         outcome = one_round_execute(
             rewritten, working, cluster, plan.attribute_order, ledger,
-            impl=self.hcube_impl, work_budget=self.work_budget)
+            impl=self.hcube_impl, work_budget=self.work_budget,
+            executor=executor)
         extra = {
             "plan": plan.describe(),
             "order": plan.attribute_order,
@@ -129,6 +134,8 @@ class ADJ:
             "worker_work": outcome.worker_work,
             "worker_loads": outcome.worker_loads,
         }
+        if outcome.telemetry is not None:
+            extra["telemetry"] = outcome.telemetry
         if optimizer_report is not None:
             extra["explored_configurations"] = \
                 optimizer_report.explored_configurations

@@ -11,8 +11,10 @@ from ..data.database import Database
 from ..data.relation import Relation
 from ..distributed.cluster import Cluster
 from ..distributed.metrics import CostBreakdown
-from ..errors import BudgetExceeded, OutOfMemory
+from ..errors import BudgetExceeded, OutOfMemory, WorkerCrashed
 from ..query.query import JoinQuery
+from ..runtime.executor import Executor
+from ..runtime.telemetry import RuntimeTelemetry
 
 __all__ = ["EngineResult", "Engine", "run_engine_safely",
            "attach_degree_order"]
@@ -28,7 +30,7 @@ class EngineResult:
     breakdown: CostBreakdown
     shuffled_tuples: int = 0
     rounds: int = 1
-    failure: str | None = None        # None | "oom" | "budget"
+    failure: str | None = None        # None | "oom" | "budget" | "crash"
     extra: dict = field(default_factory=dict)
 
     @property
@@ -39,23 +41,42 @@ class EngineResult:
     def total_seconds(self) -> float:
         return self.breakdown.total
 
+    @property
+    def telemetry(self) -> RuntimeTelemetry | None:
+        """Measured wall-clock telemetry, when the run used a backend."""
+        return self.extra.get("telemetry")
+
+    @property
+    def measured_seconds(self) -> float | None:
+        t = self.telemetry
+        return t.total if t is not None else None
+
 
 class Engine(Protocol):
     """A distributed join engine (the paper's competing methods)."""
 
     name: str
 
-    def run(self, query: JoinQuery, db: Database,
-            cluster: Cluster) -> EngineResult:
-        """Evaluate the query; raises OutOfMemory / BudgetExceeded."""
+    def run(self, query: JoinQuery, db: Database, cluster: Cluster,
+            executor: Executor | None = None) -> EngineResult:
+        """Evaluate the query; raises OutOfMemory / BudgetExceeded.
+
+        ``executor`` selects the :mod:`repro.runtime` backend carrying
+        the local per-worker computation; None keeps the historical
+        inline (simulated) evaluation.
+        """
         ...
 
 
 def run_engine_safely(engine: Engine, query: JoinQuery, db: Database,
-                      cluster: Cluster) -> EngineResult:
+                      cluster: Cluster,
+                      executor: Executor | None = None) -> EngineResult:
     """Run an engine, converting the paper's two failure modes into a
-    failed :class:`EngineResult` (missing bar / frame-top bar)."""
+    failed :class:`EngineResult` (missing bar / frame-top bar).  Runtime
+    worker crashes surface the same way (``failure="crash"``)."""
     try:
+        if executor is not None:
+            return engine.run(query, db, cluster, executor=executor)
         return engine.run(query, db, cluster)
     except OutOfMemory:
         return EngineResult(engine=engine.name, query=query.name, count=-1,
@@ -63,6 +84,10 @@ def run_engine_safely(engine: Engine, query: JoinQuery, db: Database,
     except BudgetExceeded:
         return EngineResult(engine=engine.name, query=query.name, count=-1,
                             breakdown=CostBreakdown(), failure="budget")
+    except WorkerCrashed as exc:
+        return EngineResult(engine=engine.name, query=query.name, count=-1,
+                            breakdown=CostBreakdown(), failure="crash",
+                            extra={"crash_reason": str(exc)})
 
 
 def attach_degree_order(query: JoinQuery, db: Database) -> tuple[str, ...]:

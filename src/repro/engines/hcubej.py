@@ -13,6 +13,7 @@ from ..data.database import Database
 from ..distributed.cluster import Cluster
 from ..distributed.partitioner import enumerate_share_vectors
 from ..query.query import JoinQuery
+from ..runtime.executor import Executor
 from .base import EngineResult, attach_degree_order
 from .one_round import one_round_execute
 
@@ -41,14 +42,24 @@ class HCubeJ:
             vectors * query.num_atoms / cluster.params.beta_work,
             "optimization")
 
-    def run(self, query: JoinQuery, db: Database,
-            cluster: Cluster) -> EngineResult:
+    def run(self, query: JoinQuery, db: Database, cluster: Cluster,
+            executor: Executor | None = None) -> EngineResult:
         ledger = cluster.new_ledger()
         self._charge_optimization(query, cluster, ledger)
         order = self.order or attach_degree_order(query, db)
         outcome = one_round_execute(
             query, db, cluster, order, ledger, impl=self.hcube_impl,
-            work_budget=self.work_budget)
+            work_budget=self.work_budget, executor=executor)
+        extra = {
+            "order": order,
+            "level_tuples": outcome.level_tuples,
+            "leapfrog_work": outcome.leapfrog_work,
+            "max_worker_tuples": outcome.max_worker_tuples,
+            "worker_work": outcome.worker_work,
+            "worker_loads": outcome.worker_loads,
+        }
+        if outcome.telemetry is not None:
+            extra["telemetry"] = outcome.telemetry
         return EngineResult(
             engine=self.name,
             query=query.name,
@@ -56,12 +67,5 @@ class HCubeJ:
             breakdown=ledger.breakdown(),
             shuffled_tuples=outcome.shuffled_tuples,
             rounds=1,
-            extra={
-                "order": order,
-                "level_tuples": outcome.level_tuples,
-                "leapfrog_work": outcome.leapfrog_work,
-                "max_worker_tuples": outcome.max_worker_tuples,
-                "worker_work": outcome.worker_work,
-                "worker_loads": outcome.worker_loads,
-            },
+            extra=extra,
         )

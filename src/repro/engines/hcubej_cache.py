@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..data.database import Database
 from ..distributed.cluster import Cluster
 from ..query.query import JoinQuery
+from ..runtime.executor import Executor
 from ..wcoj.cache import IntersectionCache
 from .base import EngineResult, attach_degree_order
 from .hcubej import HCubeJ
@@ -30,8 +31,12 @@ class HCubeJCache(HCubeJ):
     name = "HCubeJ+Cache"
     hcube_impl = "push"
 
-    def run(self, query: JoinQuery, db: Database,
-            cluster: Cluster) -> EngineResult:
+    def run(self, query: JoinQuery, db: Database, cluster: Cluster,
+            executor: Executor | None = None) -> EngineResult:
+        # The intersection caches are in-process objects, so this engine
+        # always evaluates inline; ``executor`` is accepted for protocol
+        # uniformity and ignored (one_round_execute enforces the same).
+        del executor
         ledger = cluster.new_ledger()
         self._charge_optimization(query, cluster, ledger)
         order = self.order or attach_degree_order(query, db)

@@ -3,10 +3,22 @@
 Used by HCubeJ, HCubeJ+Cache and ADJ — they differ only in the shuffle
 implementation, the attribute order, the presence of an intersection
 cache, and (for ADJ) the pre-computed relations in the database.
+
+Two execution paths produce identical counts and identical modeled
+costs:
+
+- the **inline path** (default, ``executor=None``) evaluates every cube
+  in the calling process, exactly the historical simulated behaviour —
+  it also carries the per-cube intersection caches HCubeJ+Cache needs;
+- the **runtime path** (any :class:`repro.runtime.Executor`) groups each
+  worker's cubes into a :class:`repro.runtime.WorkerTask` and runs them
+  on the chosen backend, recording measured wall-clock telemetry next to
+  the modeled ledger.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -17,6 +29,13 @@ from ..distributed.metrics import CostLedger
 from ..distributed.partitioner import optimize_shares
 from ..errors import BudgetExceeded
 from ..query.query import JoinQuery
+from ..runtime.executor import Executor
+from ..runtime.scheduler import (
+    build_worker_tasks,
+    merge_task_results,
+    run_worker_tasks,
+)
+from ..runtime.telemetry import RuntimeTelemetry
 from ..wcoj.cache import IntersectionCache
 from ..wcoj.leapfrog import LeapfrogStats, leapfrog_join
 
@@ -36,6 +55,7 @@ class OneRoundOutcome:
     cache_misses: int = 0
     worker_work: dict[int, float] | None = None
     worker_loads: dict[int, int] | None = None
+    telemetry: RuntimeTelemetry | None = None
 
 
 def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
@@ -44,20 +64,33 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                       cache_factory: Callable[[int], IntersectionCache | None]
                       | None = None,
                       work_budget: int | None = None,
-                      comm_phase: str = "communication") -> OneRoundOutcome:
+                      comm_phase: str = "communication",
+                      executor: Executor | None = None,
+                      telemetry: RuntimeTelemetry | None = None
+                      ) -> OneRoundOutcome:
     """Shuffle with HCube, then run Leapfrog on every cube.
 
     ``cache_factory(worker_load)`` may supply a per-cube intersection
     cache sized from the memory left after the shuffle (HCubeJ+Cache).
     Communication is charged to ``comm_phase`` so ADJ can book the bag
     shuffles under pre-computing.
+
+    ``executor`` selects the runtime backend for the per-cube Leapfrog
+    work; caches are in-process objects, so a non-null ``cache_factory``
+    forces the inline path regardless of the executor.
     """
+    if telemetry is None and executor is not None:
+        telemetry = RuntimeTelemetry(backend=executor.name,
+                                     num_workers=cluster.num_workers)
     sizes = {a.relation: len(db[a.relation]) for a in query.atoms}
     shares = optimize_shares(query, sizes, cluster.num_workers,
                              memory_tuples=cluster.memory_tuples_per_worker)
     grid = HypercubeGrid(query, shares, cluster.num_workers)
+    shuffle_start = time.perf_counter()
     shuffle = hcube_shuffle(query, db, grid, impl=impl,
                             memory_tuples=cluster.memory_tuples_per_worker)
+    if telemetry is not None:
+        telemetry.record("shuffle", time.perf_counter() - shuffle_start)
     ledger.charge_shuffle(shuffle.stats, impl, phase=comm_phase)
     # Local trie construction (skipped cost-wise by Merge: blocks arrive
     # as pre-built tries and only need merging).
@@ -67,14 +100,35 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
         {w: float(load) for w, load in shuffle.worker_loads.items()},
         rate=rate, phase="computation")
 
-    local_query = shuffle.local_query
     order = tuple(order)
+    if executor is not None and cache_factory is None:
+        # Runtime path: per-worker tasks on the chosen backend.
+        tasks = build_worker_tasks(shuffle, order, budget=work_budget)
+        results = run_worker_tasks(executor, tasks, telemetry=telemetry)
+        merged = merge_task_results(results, len(order),
+                                    budget=work_budget)
+        worker_work = {w: 0.0 for w in range(cluster.num_workers)}
+        worker_work.update(merged.worker_work)
+        ledger.charge_worker_work(worker_work, phase="computation")
+        return OneRoundOutcome(
+            count=merged.count,
+            level_tuples=merged.level_tuples,
+            leapfrog_work=merged.total_work,
+            shuffled_tuples=shuffle.stats.tuple_copies,
+            max_worker_tuples=shuffle.stats.max_worker_tuples,
+            worker_work=worker_work,
+            worker_loads=dict(shuffle.worker_loads),
+            telemetry=telemetry,
+        )
+
+    local_query = shuffle.local_query
     count = 0
     total_work = 0
     level_tuples = [0] * len(order)
     worker_work: dict[int, float] = {w: 0.0 for w in
                                      range(cluster.num_workers)}
     cache_hits = cache_misses = 0
+    join_start = time.perf_counter()
     for cube, cube_db in enumerate(shuffle.cube_databases):
         worker = grid.worker_of_cube(cube)
         cache = None
@@ -95,6 +149,8 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
         if cache is not None:
             cache_hits += cache.hits
             cache_misses += cache.misses
+    if telemetry is not None:
+        telemetry.record("local_join", time.perf_counter() - join_start)
     ledger.charge_worker_work(worker_work, phase="computation")
     return OneRoundOutcome(
         count=count,
@@ -106,4 +162,5 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
         cache_misses=cache_misses,
         worker_work=worker_work,
         worker_loads=dict(shuffle.worker_loads),
+        telemetry=telemetry,
     )

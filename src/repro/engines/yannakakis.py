@@ -16,6 +16,7 @@ from ..distributed.metrics import ShuffleStats
 from ..errors import OutOfMemory
 from ..ghd.decomposition import Hypertree, optimal_hypertree
 from ..query.query import JoinQuery
+from ..runtime.executor import Executor
 from ..wcoj.yannakakis import (
     YannakakisStats,
     full_reducer,
@@ -37,8 +38,11 @@ class YannakakisJoin:
         self.work_budget = work_budget
         self.hypertree = hypertree
 
-    def run(self, query: JoinQuery, db: Database,
-            cluster: Cluster) -> EngineResult:
+    def run(self, query: JoinQuery, db: Database, cluster: Cluster,
+            executor: Executor | None = None) -> EngineResult:
+        # Semijoin sweeps are global sequential passes; this engine has no
+        # parallel task decomposition yet, so the executor is ignored.
+        del executor
         ledger = cluster.new_ledger()
         params = cluster.params
         tree = self.hypertree or optimal_hypertree(query)

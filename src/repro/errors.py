@@ -21,6 +21,14 @@ class QueryParseError(ReproError):
     """The textual query could not be parsed."""
 
 
+class ConfigError(ReproError, ValueError):
+    """An environment variable or configuration value is invalid.
+
+    Subclasses :class:`ValueError` as well so callers that predate the
+    dedicated type (``except ValueError``) keep working.
+    """
+
+
 class PlanError(ReproError):
     """A query plan is invalid (bad traversal order, uncovered relation...)."""
 
@@ -49,6 +57,23 @@ class OutOfMemory(ReproError):
             f"server {server_id} exceeded memory budget: used {used} tuples, "
             f"budget {budget} tuples"
         )
+
+
+class WorkerCrashed(ReproError):
+    """A runtime worker task died unexpectedly.
+
+    Raised by :mod:`repro.runtime` when a task on a thread/process backend
+    fails for any reason other than the two modelled failure modes
+    (:class:`OutOfMemory`, :class:`BudgetExceeded`) — e.g. the worker
+    process was killed, or the task function raised.  Engines surface it
+    as a clean failure instead of hanging or propagating backend
+    internals.
+    """
+
+    def __init__(self, worker: int, reason: str):
+        self.worker = worker
+        self.reason = reason
+        super().__init__(f"worker {worker} crashed: {reason}")
 
 
 class BudgetExceeded(ReproError):

@@ -1,0 +1,54 @@
+"""Parallel execution runtime: run HCube plans on real worker pools.
+
+The rest of the library *models* a distributed cluster (cost ledgers,
+simulated shuffles).  This subsystem adds the missing execution
+substrate: an :class:`Executor` abstraction with ``serial``, ``threads``
+and ``processes`` backends, a scheduler that turns an HCube shuffle into
+per-worker :class:`WorkerTask` batches, spawn-safe worker task functions,
+and wall-clock telemetry recorded next to the modeled cost breakdowns.
+
+See docs/runtime.md for backend selection and spawn-safety rules.
+"""
+
+from .executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_parallelism,
+    create_executor,
+    executor_for,
+)
+from .scheduler import (
+    MergedOutcome,
+    build_worker_tasks,
+    merge_task_results,
+    run_worker_tasks,
+)
+from .telemetry import RuntimeTelemetry, modeled_vs_measured
+from .worker import (
+    WorkerTask,
+    WorkerTaskResult,
+    execute_worker_task,
+    join_partition_task,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "available_parallelism",
+    "create_executor",
+    "executor_for",
+    "MergedOutcome",
+    "build_worker_tasks",
+    "merge_task_results",
+    "run_worker_tasks",
+    "RuntimeTelemetry",
+    "modeled_vs_measured",
+    "WorkerTask",
+    "WorkerTaskResult",
+    "execute_worker_task",
+    "join_partition_task",
+]

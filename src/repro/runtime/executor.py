@@ -1,0 +1,219 @@
+"""Executor backends: where worker tasks actually run.
+
+One interface, three implementations:
+
+- ``serial``    — tasks run inline in the calling process, in submission
+  order.  Semantically identical to the historical simulated behaviour
+  and the default everywhere.
+- ``threads``   — a ``ThreadPoolExecutor``.  Cheap to start and shares
+  memory, but Leapfrog is Python/numpy-bound so the GIL caps speedup;
+  useful for overlap with I/O and for testing task plumbing.
+- ``processes`` — a ``ProcessPoolExecutor``.  Task payloads (numpy column
+  batches inside :class:`repro.runtime.scheduler.WorkerTask`) are pickled
+  to worker processes, so task functions must be importable top-level
+  functions (spawn/fork safe — see docs/runtime.md).
+
+Failure contract: a task that raises anything other than a
+:class:`repro.errors.ReproError` — or a worker process that dies — is
+converted into :class:`repro.errors.WorkerCrashed` so engines fail
+cleanly instead of hanging or leaking backend internals.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ConfigError, ReproError, WorkerCrashed
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "create_executor",
+    "executor_for",
+    "available_parallelism",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+def available_parallelism() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class Executor(ABC):
+    """Runs a batch of worker tasks and returns their results in order."""
+
+    name: str = "abstract"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max(1, int(max_workers or 1))
+
+    @abstractmethod
+    def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
+                  ) -> list[R]:
+        """Apply ``fn`` to every task; results keep submission order.
+
+        Raises :class:`ReproError` subclasses from tasks unchanged and
+        wraps everything else in :class:`WorkerCrashed`.
+        """
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class SerialExecutor(Executor):
+    """Inline execution — today's simulated behaviour, zero overhead."""
+
+    name = "serial"
+
+    def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
+                  ) -> list[R]:
+        out: list[R] = []
+        for i, task in enumerate(tasks):
+            try:
+                out.append(fn(task))
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise WorkerCrashed(i, f"{type(exc).__name__}: {exc}") \
+                    from exc
+        return out
+
+
+class _PoolExecutor(Executor):
+    """Shared submit/collect logic for the two real pool backends."""
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._pool = None
+
+    def _make_pool(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
+                  ) -> list[R]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(fn, t) for t in tasks]
+        except Exception as exc:
+            raise WorkerCrashed(-1, f"task submission failed: "
+                                    f"{type(exc).__name__}: {exc}") from exc
+        # Block until everything finished or something failed — healthy
+        # long runs never time out.  On failure, report the future that
+        # actually holds the exception (not whichever healthy task is
+        # still running) and cancel the rest.
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (f for f in done if not f.cancelled()
+             and f.exception() is not None), None)
+        if failed is not None:
+            for f in pending:
+                f.cancel()
+            self.close()  # a broken/aborted pool cannot be reused
+            exc = failed.exception()
+            if isinstance(exc, ReproError):
+                raise exc
+            raise WorkerCrashed(
+                futures.index(failed),
+                f"{type(exc).__name__}: {exc}") from exc
+        # No exception => FIRST_EXCEPTION degenerated to ALL_COMPLETED,
+        # so every result is ready and result() cannot block.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution (shared memory, GIL-bound compute)."""
+
+    name = "threads"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.max_workers,
+                                  thread_name_prefix="repro-worker")
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool execution: real parallelism via pickled partitions."""
+
+    name = "processes"
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None):
+        super().__init__(max_workers)
+        self.start_method = start_method
+
+    def _make_pool(self):
+        import multiprocessing
+
+        ctx = (multiprocessing.get_context(self.start_method)
+               if self.start_method else None)
+        return ProcessPoolExecutor(max_workers=self.max_workers,
+                                   mp_context=ctx)
+
+
+_BACKENDS: dict[str, type[Executor]] = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def create_executor(backend: str, max_workers: int | None = None,
+                    **kwargs) -> Executor:
+    """Instantiate a backend by name (``serial``/``threads``/``processes``)."""
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise ConfigError(
+            f"unknown runtime backend {backend!r}; "
+            f"choose from {tuple(_BACKENDS)}") from None
+    if cls is SerialExecutor:
+        return cls(max_workers)
+    return cls(max_workers, **kwargs)
+
+
+def executor_for(cluster) -> Executor:
+    """Executor matching a :class:`repro.distributed.Cluster`'s hint.
+
+    The pool size is the cluster's worker count capped at the CPUs the
+    process may use — more processes than cores only adds contention.
+    """
+    workers = cluster.num_workers
+    if cluster.runtime == "processes":
+        workers = min(workers, available_parallelism())
+    return create_executor(cluster.runtime, max_workers=workers)

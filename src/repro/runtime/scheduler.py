@@ -1,0 +1,110 @@
+"""Scheduler: turn an HCube shuffle result into per-worker tasks.
+
+The HCube locality property guarantees every output tuple is produced by
+exactly one cube, so per-worker evaluation is embarrassingly parallel:
+group each worker's cubes into one :class:`WorkerTask` (partition →
+build tries → run Leapfrog locally → merge counts), hand the batch to an
+:class:`repro.runtime.Executor`, and sum the results.  The same merged
+counters the simulated path accumulates inline (counts, per-level
+intermediate tuples, per-worker intersection work) come back here, so
+modeled cost accounting is identical across backends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..distributed.hcube import HCubeShuffleResult
+from ..errors import BudgetExceeded, WorkerCrashed
+from .executor import Executor
+from .telemetry import RuntimeTelemetry
+from .worker import WorkerTask, WorkerTaskResult, execute_worker_task
+
+__all__ = ["MergedOutcome", "build_worker_tasks", "merge_task_results",
+           "run_worker_tasks"]
+
+
+@dataclass
+class MergedOutcome:
+    """Sum of all worker task results (the coordinator's view)."""
+
+    count: int = 0
+    level_tuples: list[int] = field(default_factory=list)
+    total_work: int = 0
+    worker_work: dict[int, float] = field(default_factory=dict)
+    tasks: int = 0
+
+
+def build_worker_tasks(shuffle: HCubeShuffleResult,
+                       order: Sequence[str],
+                       budget: int | None = None) -> list[WorkerTask]:
+    """One :class:`WorkerTask` per worker that owns at least one cube.
+
+    ``budget`` is the engine's *global* intersection-work cap; each task
+    receives it whole and the coordinator re-checks the summed work after
+    the run (see :func:`merge_task_results`), so a budget violation is
+    detected whether it happens inside one worker or only in aggregate.
+    """
+    grid = shuffle.grid
+    local_query = shuffle.local_query
+    order = tuple(order)
+    tasks: dict[int, WorkerTask] = {}
+    for cube, cube_db in enumerate(shuffle.cube_databases):
+        worker = grid.worker_of_cube(cube)
+        task = tasks.get(worker)
+        if task is None:
+            task = WorkerTask(worker=worker, query=local_query,
+                              order=order, budget=budget)
+            tasks[worker] = task
+        task.cubes.append(tuple(
+            cube_db[atom.relation].data for atom in local_query.atoms))
+    return [tasks[w] for w in sorted(tasks)]
+
+
+def run_worker_tasks(executor: Executor, tasks: Sequence[WorkerTask],
+                     telemetry: RuntimeTelemetry | None = None
+                     ) -> list[WorkerTaskResult]:
+    """Execute tasks on ``executor``, recording measured phase times."""
+    start = time.perf_counter()
+    results = executor.map_tasks(execute_worker_task, tasks)
+    elapsed = time.perf_counter() - start
+    if telemetry is not None:
+        telemetry.record("local_join", elapsed)
+        for res in results:
+            telemetry.record_worker(res.worker, res.total_seconds)
+    return results
+
+
+def merge_task_results(results: Sequence[WorkerTaskResult],
+                       num_levels: int,
+                       budget: int | None = None) -> MergedOutcome:
+    """Sum worker results; surface failures as the proper error types.
+
+    Raises :class:`BudgetExceeded` if any worker tripped its budget or
+    the aggregate work exceeds the global cap, and :class:`WorkerCrashed`
+    for anything else — a crashed task never hangs the coordinator.
+    """
+    merged = MergedOutcome(level_tuples=[0] * num_levels)
+    for res in results:
+        if res.failure == "crash":
+            reason = res.failure_info[0] if res.failure_info else "unknown"
+            raise WorkerCrashed(res.worker, reason)
+        merged.count += res.count
+        merged.total_work += res.intersection_work
+        merged.worker_work[res.worker] = \
+            merged.worker_work.get(res.worker, 0.0) + res.intersection_work
+        for d in range(min(num_levels, len(res.level_tuples))):
+            merged.level_tuples[d] += res.level_tuples[d]
+        merged.tasks += 1
+    # Per-worker budget failures and the aggregate check share one cap.
+    for res in results:
+        if res.failure == "budget":
+            work_done, cap = (res.failure_info if res.failure_info
+                              else (merged.total_work, budget or 0))
+            raise BudgetExceeded(max(int(work_done), merged.total_work),
+                                 int(cap))
+    if budget is not None and merged.total_work > budget:
+        raise BudgetExceeded(merged.total_work, budget)
+    return merged

@@ -1,0 +1,138 @@
+"""Worker-side task payloads and the top-level task functions.
+
+Everything in this module must stay pickle-friendly and importable from a
+fresh interpreter: process backends ship :class:`WorkerTask` objects to
+spawned/forked workers and call the *top-level* functions below by
+reference.  Keep task functions at module scope (no closures, no lambdas,
+no bound methods) — that is the spawn-safety rule documented in
+docs/runtime.md.
+
+A task deliberately never raises across the process boundary.  The two
+modelled failure modes are encoded in the returned
+:class:`WorkerTaskResult` (``failure="budget"``) or detected before tasks
+are built (OOM happens at shuffle time in the coordinator); anything else
+is reported as ``failure="crash"`` with a reason string.  The scheduler
+re-raises the right :mod:`repro.errors` type in the coordinator, so
+pickling exotic exception objects is never needed.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..errors import BudgetExceeded
+from ..query.query import JoinQuery
+from ..wcoj.leapfrog import LeapfrogStats, build_tries, leapfrog_join
+
+__all__ = ["WorkerTask", "WorkerTaskResult", "execute_worker_task",
+           "join_partition_task"]
+
+
+@dataclass
+class WorkerTask:
+    """One worker's share of a one-round plan: its cubes, ready to run.
+
+    ``cubes`` holds, per owned hypercube, one numpy column batch per atom
+    of the (localized) query — the exact partitions an HCube shuffle
+    routed to this worker.  Arrays are plain ``int64`` matrices, so the
+    payload pickles compactly for process backends.
+    """
+
+    worker: int
+    query: JoinQuery                      # localized query (unique names)
+    order: tuple[str, ...]
+    cubes: list[tuple[np.ndarray, ...]] = field(default_factory=list)
+    budget: int | None = None             # intersection-work cap (total)
+
+    @property
+    def num_tuples(self) -> int:
+        return sum(int(a.shape[0]) for cube in self.cubes for a in cube)
+
+
+@dataclass
+class WorkerTaskResult:
+    """What one task produced, plus measured per-phase wall-clock."""
+
+    worker: int
+    count: int = 0
+    level_tuples: list[int] = field(default_factory=list)
+    intersection_work: int = 0
+    cubes_run: int = 0
+    build_seconds: float = 0.0
+    join_seconds: float = 0.0
+    total_seconds: float = 0.0
+    failure: str | None = None            # None | "budget" | "crash"
+    failure_info: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
+    """Run Leapfrog over every cube of ``task`` (build tries, join, sum).
+
+    Top-level and self-contained on purpose: safe to call through any
+    executor backend, including spawned processes.
+    """
+    start = time.perf_counter()
+    result = WorkerTaskResult(worker=task.worker,
+                              level_tuples=[0] * len(task.order))
+    try:
+        atoms = task.query.atoms
+        for arrays in task.cubes:
+            db = Database(
+                Relation(atom.relation, atom.attributes, arr, dedup=False)
+                for atom, arr in zip(atoms, arrays))
+            remaining = None
+            if task.budget is not None:
+                remaining = task.budget - result.intersection_work
+                if remaining <= 0:
+                    raise BudgetExceeded(result.intersection_work,
+                                         task.budget)
+            t0 = time.perf_counter()
+            tries = build_tries(task.query, db, task.order)
+            t1 = time.perf_counter()
+            stats = LeapfrogStats()
+            try:
+                join = leapfrog_join(task.query, db, task.order,
+                                     tries=tries, budget=remaining,
+                                     stats=stats)
+            finally:
+                # Partial work still counts toward the budget on failure.
+                result.intersection_work += stats.intersection_work
+                for d in range(len(task.order)):
+                    if d < len(stats.level_tuples):
+                        result.level_tuples[d] += stats.level_tuples[d]
+                result.build_seconds += t1 - t0
+                result.join_seconds += time.perf_counter() - t1
+            result.count += join.count
+            result.cubes_run += 1
+    except BudgetExceeded as exc:
+        result.failure = "budget"
+        result.failure_info = (int(exc.work_done), int(exc.budget))
+    except Exception as exc:
+        result.failure = "crash"
+        result.failure_info = (
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(limit=5),
+        )
+    result.total_seconds = time.perf_counter() - start
+    return result
+
+
+def join_partition_task(pair: tuple[Relation, Relation]) -> Relation:
+    """Natural-join one co-partitioned (left, right) pair.
+
+    Used by the SparkSQL-style engine: both sides were hash-partitioned
+    on their shared attributes, so partition outputs are disjoint and the
+    coordinator may concatenate them without re-deduplication.
+    """
+    left, right = pair
+    return left.natural_join(right)

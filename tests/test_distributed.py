@@ -23,8 +23,14 @@ from repro.distributed import (
     modulo_hash,
     optimize_shares,
 )
+from repro.distributed import local_atom_name
 from repro.errors import OutOfMemory, PlanError
 from repro.query import paper_query
+from repro.runtime import (
+    build_worker_tasks,
+    execute_worker_task,
+    merge_task_results,
+)
 from repro.wcoj import leapfrog_join
 
 
@@ -277,6 +283,61 @@ class TestHCubeShuffle:
         total = sum(leapfrog_join(res.local_query, cdb).count
                     for cdb in res.cube_databases)
         assert total == leapfrog_join(q, db).count
+
+
+class TestShuffleProperties:
+    """Property tests: partition/shuffle invariants under random inputs."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), workers=st.integers(1, 6),
+           num_keys=st.integers(1, 2))
+    def test_hash_partition_disjoint_and_multiset_preserving(
+            self, seed, workers, num_keys):
+        rng = np.random.default_rng(seed)
+        rel = Relation("R", ("a", "b"),
+                       rng.integers(-25, 25, size=(80, 2)))
+        parts, stats = hash_partition(rel, ("a", "b")[:num_keys], workers)
+        # Disjoint and complete: every tuple lands on exactly one worker.
+        assert sum(len(p) for p in parts) == len(rel)
+        assert stats.tuple_copies == len(rel)
+        merged = np.vstack([p.data for p in parts if len(p)]) \
+            if len(rel) else np.empty((0, 2), dtype=np.int64)
+        from repro.data.relation import lexsorted_rows
+        assert np.array_equal(lexsorted_rows(merged),
+                              lexsorted_rows(rel.data.copy()))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), pa=st.integers(1, 3),
+           pb=st.integers(1, 3), pc=st.integers(1, 3))
+    def test_hcube_tuple_replication_matches_dup_factor(
+            self, seed, pa, pb, pc):
+        """Each tuple reaches exactly the cubes its wildcards demand."""
+        q, db = triangle_case(seed=seed, n=60, dom=9)
+        shares = {"a": pa, "b": pb, "c": pc}
+        grid = HypercubeGrid(q, shares, 2)
+        res = hcube_shuffle(q, db, grid, impl="push")
+        for ai, atom in enumerate(q.atoms):
+            rel = db[atom.relation]
+            name = local_atom_name(atom, ai)
+            routed = sum(len(cdb[name]) for cdb in res.cube_databases)
+            assert routed == len(rel) * dup_factor(atom.attributes, shares)
+            for cdb in res.cube_databases:
+                assert cdb[name].as_set() <= rel.as_set()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), pa=st.integers(1, 3),
+           pb=st.integers(1, 3), pc=st.integers(1, 3),
+           workers=st.integers(1, 5))
+    def test_worker_local_evaluation_reproduces_global_count(
+            self, seed, pa, pb, pc, workers):
+        """Per-worker grid evaluation == global join (runtime path)."""
+        q, db = triangle_case(seed=seed, n=60, dom=9)
+        grid = HypercubeGrid(q, {"a": pa, "b": pb, "c": pc}, workers)
+        res = hcube_shuffle(q, db, grid)
+        tasks = build_worker_tasks(res, q.attributes)
+        merged = merge_task_results(
+            [execute_worker_task(t) for t in tasks], q.num_attributes)
+        assert merged.count == leapfrog_join(q, db).count
 
 
 class TestHashPartition:

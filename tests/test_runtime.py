@@ -1,0 +1,360 @@
+"""Tests for repro.runtime: executors, scheduler, worker tasks, failures.
+
+Process-backend tests use small pools and small inputs; the crash tests
+assert that a dying worker task surfaces as a clean engine failure
+(:class:`WorkerCrashed` / ``failure="crash"``) rather than a hang.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import Database, Relation
+from repro.distributed import Cluster, HypercubeGrid, hcube_shuffle
+from repro.engines import (
+    ADJ,
+    BigJoin,
+    HCubeJ,
+    HCubeJCache,
+    SparkSQLJoin,
+    run_engine_safely,
+)
+from repro.errors import BudgetExceeded, ConfigError, WorkerCrashed
+from repro.query import paper_query
+from repro.runtime import (
+    ProcessExecutor,
+    RuntimeTelemetry,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerTask,
+    available_parallelism,
+    build_worker_tasks,
+    create_executor,
+    execute_worker_task,
+    executor_for,
+    merge_task_results,
+    run_worker_tasks,
+)
+from repro.wcoj import leapfrog_join
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def graph_case(query_name, seed=0, n=300, dom=40):
+    query = paper_query(query_name)
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, dom, size=(n, 2))
+    db = Database(Relation(a.relation, ("x", "y"), edges)
+                  for a in query.atoms)
+    return query, db
+
+
+# -- top-level task functions (picklable for process backends) ----------------
+
+def _ok_task(x):
+    return x * 2
+
+
+def _raise_task(x):
+    raise RuntimeError(f"boom on {x}")
+
+
+def _exit_task(x):
+    os._exit(13)  # simulates a worker process dying mid-task
+
+
+def _slow_or_boom(x):
+    if x == "boom":
+        raise RuntimeError("boom fast")
+    import time
+    time.sleep(5)
+    return x
+
+
+# -- executors ----------------------------------------------------------------
+
+class TestExecutors:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_map_preserves_order(self, backend):
+        with create_executor(backend, 2) as ex:
+            assert ex.map_tasks(_ok_task, [1, 2, 3]) == [2, 4, 6]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_task_exception_becomes_worker_crashed(self, backend):
+        with create_executor(backend, 2) as ex:
+            with pytest.raises(WorkerCrashed, match="boom"):
+                ex.map_tasks(_raise_task, [7])
+
+    def test_failure_reported_before_slow_healthy_tasks(self):
+        """The crashed task is named, without waiting out healthy ones."""
+        import time
+        start = time.perf_counter()
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(WorkerCrashed, match="boom fast") as info:
+                ex.map_tasks(_slow_or_boom, [0, "boom"])
+        assert info.value.worker == 1
+        assert time.perf_counter() - start < 5.0
+
+    def test_dead_process_is_clean_failure_not_hang(self):
+        with ProcessExecutor(2) as ex:
+            with pytest.raises(WorkerCrashed):
+                ex.map_tasks(_exit_task, [1])
+
+    def test_empty_task_list(self):
+        with create_executor("threads", 2) as ex:
+            assert ex.map_tasks(_ok_task, []) == []
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            create_executor("quantum")
+
+    def test_executor_for_cluster_hint(self):
+        assert executor_for(Cluster(num_workers=2)).name == "serial"
+        ex = executor_for(Cluster(num_workers=2, runtime="threads"))
+        assert ex.name == "threads" and ex.max_workers == 2
+        ex = executor_for(Cluster(num_workers=64, runtime="processes"))
+        assert ex.max_workers <= max(available_parallelism(), 1)
+
+    def test_reuse_after_map(self):
+        with create_executor("threads", 2) as ex:
+            assert ex.map_tasks(_ok_task, [1]) == [2]
+            assert ex.map_tasks(_ok_task, [2]) == [4]
+
+
+# -- scheduler + worker tasks -------------------------------------------------
+
+class TestScheduler:
+    def _tasks(self, query_name="Q1", budget=None, workers=4):
+        query, db = graph_case(query_name)
+        shares = {a: 1 for a in query.attributes}
+        shares[query.attributes[0]] = 2
+        shares[query.attributes[1]] = 2
+        grid = HypercubeGrid(query, shares, workers)
+        shuffle = hcube_shuffle(query, db, grid)
+        return (build_worker_tasks(shuffle, query.attributes,
+                                   budget=budget),
+                leapfrog_join(query, db).count, query)
+
+    def test_tasks_cover_all_cubes(self):
+        tasks, _, query = self._tasks()
+        assert sum(len(t.cubes) for t in tasks) == 4
+        assert sorted({t.worker for t in tasks}) == sorted(
+            t.worker for t in tasks)
+
+    def test_worker_evaluation_reproduces_global_count(self):
+        tasks, truth, query = self._tasks()
+        results = [execute_worker_task(t) for t in tasks]
+        merged = merge_task_results(results, query.num_attributes)
+        assert merged.count == truth
+        assert merged.level_tuples[-1] == truth
+
+    def test_merged_levels_match_global_leapfrog(self):
+        query, db = graph_case("Q9")
+        grid = HypercubeGrid(query, {a: 1 for a in query.attributes[:-1]}
+                             | {query.attributes[-1]: 3}, 3)
+        shuffle = hcube_shuffle(query, db, grid)
+        tasks = build_worker_tasks(shuffle, query.attributes)
+        merged = merge_task_results(
+            [execute_worker_task(t) for t in tasks], query.num_attributes)
+        assert merged.count == leapfrog_join(query, db).count
+
+    def test_budget_exceeded_raised_from_tasks(self):
+        tasks, _, query = self._tasks(budget=5)
+        results = [execute_worker_task(t) for t in tasks]
+        assert any(r.failure == "budget" for r in results)
+        with pytest.raises(BudgetExceeded):
+            merge_task_results(results, query.num_attributes, budget=5)
+
+    def test_crashed_task_raises_worker_crashed(self):
+        tasks, _, query = self._tasks()
+        # Corrupt one payload: arity mismatch makes the worker fail.
+        tasks[0].cubes[0] = tuple(
+            arr[:, :1] for arr in tasks[0].cubes[0])
+        results = [execute_worker_task(t) for t in tasks]
+        assert any(r.failure == "crash" for r in results)
+        with pytest.raises(WorkerCrashed):
+            merge_task_results(results, query.num_attributes)
+
+    def test_task_result_records_phase_seconds(self):
+        tasks, _, _ = self._tasks()
+        res = execute_worker_task(tasks[0])
+        assert res.ok
+        assert res.total_seconds >= 0.0
+        assert res.build_seconds >= 0.0 and res.join_seconds >= 0.0
+
+    def test_run_worker_tasks_fills_telemetry(self):
+        tasks, truth, query = self._tasks()
+        telemetry = RuntimeTelemetry(backend="serial", num_workers=4)
+        with SerialExecutor(4) as ex:
+            results = run_worker_tasks(ex, tasks, telemetry=telemetry)
+        merged = merge_task_results(results, query.num_attributes)
+        assert merged.count == truth
+        assert "local_join" in telemetry.phase_seconds
+        assert telemetry.tasks_executed == len(tasks)
+        assert telemetry.straggler_seconds <= telemetry.worker_cpu_seconds
+
+
+# -- engines across backends --------------------------------------------------
+
+class TestEngineBackends:
+    @pytest.mark.parametrize("query_name", ["Q1", "Q9"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_match_serial_counts(self, query_name, backend):
+        """Triangle and 4-cycle counts are identical on every backend."""
+        query, db = graph_case(query_name, seed=2)
+        truth = leapfrog_join(query, db).count
+        cluster = Cluster(num_workers=3)
+        with create_executor(backend, 3) as ex:
+            for engine in (HCubeJ(), BigJoin(), SparkSQLJoin()):
+                result = run_engine_safely(engine, query, db, cluster,
+                                           executor=ex)
+                assert result.ok, (engine.name, result.failure)
+                assert result.count == truth, (engine.name, backend)
+
+    def test_runtime_path_matches_inline_modeled_costs(self):
+        query, db = graph_case("Q1", seed=3)
+        cluster = Cluster(num_workers=4)
+        inline = HCubeJ().run(query, db, cluster)
+        with SerialExecutor(4) as ex:
+            routed = HCubeJ().run(query, db, cluster, executor=ex)
+        assert routed.count == inline.count
+        assert routed.breakdown.total == pytest.approx(
+            inline.breakdown.total)
+        assert routed.extra["level_tuples"] == inline.extra["level_tuples"]
+
+    def test_telemetry_attached_only_with_executor(self):
+        query, db = graph_case("Q1", seed=4)
+        cluster = Cluster(num_workers=2)
+        assert HCubeJ().run(query, db, cluster).telemetry is None
+        with ThreadExecutor(2) as ex:
+            result = HCubeJ().run(query, db, cluster, executor=ex)
+        tel = result.telemetry
+        assert tel is not None and tel.backend == "threads"
+        assert "shuffle" in tel.phase_seconds
+        assert "local_join" in tel.phase_seconds
+        assert result.measured_seconds == pytest.approx(tel.total)
+
+    def test_cache_engine_accepts_and_ignores_executor(self):
+        query, db = graph_case("Q1", seed=5)
+        cluster = Cluster(num_workers=2)
+        truth = leapfrog_join(query, db).count
+        with ThreadExecutor(2) as ex:
+            result = HCubeJCache().run(query, db, cluster, executor=ex)
+        assert result.count == truth
+
+    def test_adj_runs_on_executor(self):
+        query, db = graph_case("Q1", seed=6, n=150, dom=25)
+        cluster = Cluster(num_workers=2)
+        truth = leapfrog_join(query, db).count
+        with ThreadExecutor(2) as ex:
+            result = ADJ(num_samples=20).run(query, db, cluster,
+                                             executor=ex)
+        assert result.count == truth
+        assert result.telemetry is not None
+
+    def test_work_budget_fails_cleanly_on_executor(self):
+        query, db = graph_case("Q1", seed=7)
+        cluster = Cluster(num_workers=2)
+        with ThreadExecutor(2) as ex:
+            result = run_engine_safely(HCubeJ(work_budget=3), query, db,
+                                       cluster, executor=ex)
+        assert result.failure == "budget"
+
+    def test_crashed_worker_is_clean_engine_failure(self, monkeypatch):
+        """A worker that dies mid-run must yield failure='crash'."""
+        import repro.runtime.scheduler as scheduler_mod
+
+        def crashing_run(executor, tasks, telemetry=None):
+            raise WorkerCrashed(0, "simulated death")
+
+        import repro.engines.one_round as one_round_mod
+        monkeypatch.setattr(one_round_mod, "run_worker_tasks",
+                            crashing_run)
+        query, db = graph_case("Q1", seed=8)
+        cluster = Cluster(num_workers=2)
+        with SerialExecutor(2) as ex:
+            result = run_engine_safely(HCubeJ(), query, db, cluster,
+                                       executor=ex)
+        assert result.failure == "crash"
+        assert "simulated death" in result.extra["crash_reason"]
+
+
+# -- cluster / config satellites ----------------------------------------------
+
+class TestClusterRuntime:
+    def test_with_workers_keeps_new_fields(self):
+        c = Cluster(num_workers=4, memory_tuples_per_worker=123.0,
+                    runtime="threads")
+        c2 = c.with_workers(9)
+        assert c2.num_workers == 9
+        assert c2.runtime == "threads"
+        assert c2.memory_tuples_per_worker == 123.0
+        assert c2.params is c.params
+
+    def test_with_runtime(self):
+        c = Cluster(num_workers=4).with_runtime("processes")
+        assert c.runtime == "processes" and c.num_workers == 4
+
+    def test_bad_runtime_rejected(self):
+        with pytest.raises(ConfigError):
+            Cluster(num_workers=2, runtime="teleport")
+
+    def test_default_workers_non_integer_is_config_error(self, monkeypatch):
+        from repro.distributed import default_workers
+        monkeypatch.setenv("REPRO_WORKERS", "eight")
+        with pytest.raises(ConfigError, match="REPRO_WORKERS"):
+            default_workers()
+        # ConfigError doubles as ValueError for legacy callers.
+        with pytest.raises(ValueError):
+            default_workers()
+
+
+class TestTelemetry:
+    def test_measure_context(self):
+        tel = RuntimeTelemetry(backend="serial", num_workers=1)
+        with tel.measure("phase_a"):
+            pass
+        with tel.measure("phase_a"):
+            pass
+        assert tel.phase_seconds["phase_a"] >= 0.0
+        assert tel.total == pytest.approx(sum(tel.phase_seconds.values()))
+
+    def test_as_row_and_str(self):
+        tel = RuntimeTelemetry(backend="threads", num_workers=2)
+        tel.record("shuffle", 0.5)
+        row = tel.as_row()
+        assert row["measured_shuffle"] == 0.5
+        assert row["measured_total"] == 0.5
+        assert "threads" in str(tel)
+
+    def test_modeled_vs_measured(self):
+        from repro.distributed import CostBreakdown
+        from repro.runtime import modeled_vs_measured
+        tel = RuntimeTelemetry(backend="processes", num_workers=2)
+        tel.record("local_join", 1.0)
+        rec = modeled_vs_measured(CostBreakdown(computation=2.0), tel)
+        assert rec["modeled_seconds"] == 2.0
+        assert rec["measured_seconds"] == 1.0
+        rec = modeled_vs_measured(CostBreakdown(), None)
+        assert rec["measured_seconds"] is None
+
+
+class TestWorkerTaskPayload:
+    def test_num_tuples(self):
+        query, db = graph_case("Q1")
+        task = WorkerTask(worker=0, query=query, order=query.attributes,
+                          cubes=[tuple(db[a.relation].data
+                                       for a in query.atoms)])
+        assert task.num_tuples == sum(
+            len(db[a.relation]) for a in query.atoms)
+
+    def test_worker_task_roundtrips_through_pickle(self):
+        import pickle
+        query, db = graph_case("Q1", n=50)
+        task = WorkerTask(worker=1, query=query, order=query.attributes,
+                          cubes=[tuple(db[a.relation].data
+                                       for a in query.atoms)])
+        clone = pickle.loads(pickle.dumps(task))
+        res = execute_worker_task(clone)
+        assert res.ok and res.count == leapfrog_join(query, db).count
