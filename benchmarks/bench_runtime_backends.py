@@ -1,12 +1,14 @@
-"""Runtime backends: modeled vs *measured* seconds, real speedup.
+"""Runtime backends x transports: modeled vs *measured*, real bytes.
 
 Unlike the paper-figure benches (which report model-seconds from the
 cost ledgers), this bench actually executes a one-round HCube plan on the
 ``serial``, ``threads`` and ``processes`` backends of
-:mod:`repro.runtime`, sweeping worker counts, and reports both columns
-side by side: the modeled total and the measured wall-clock, plus the
-measured speedup of each backend over ``serial`` at the same worker
-count.
+:mod:`repro.runtime`, under both data-plane transports (``pickle``
+partitions vs zero-copy ``shm`` descriptors), sweeping worker counts.
+It reports the modeled total, the measured wall-clock, the measured
+speedup over ``serial`` at the same worker count and transport, and the
+bytes the coordinator actually serialized into task payloads
+(``shipped``) — the column that shrinks under ``shm``.
 
 Workload: triangle counting (Q1) on a synthetic heavy-tailed (skewed)
 power-law graph — hub vertices make per-worker Leapfrog work expensive
@@ -17,12 +19,18 @@ containers are often pinned to 1) the bench still runs and the table
 records the honest — smaller — ratio next to the available-core count.
 
 Run:  PYTHONPATH=src python benchmarks/bench_runtime_backends.py
+      [--json BENCH_runtime.json]
 Env:  REPRO_BENCH_SKEW_EDGES (default 12000),
       REPRO_BENCH_RUNTIME_WORKERS (default "1,2,4").
+
+``--json`` writes the per-(backend, transport, workers) records so the
+perf trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import time
 
@@ -40,6 +48,7 @@ WORKER_SWEEP = tuple(
     int(w) for w in
     os.environ.get("REPRO_BENCH_RUNTIME_WORKERS", "1,2,4").split(","))
 BACKENDS = ("serial", "threads", "processes")
+TRANSPORT_SWEEP = ("pickle", "shm")
 
 
 def skew_testcase():
@@ -55,61 +64,111 @@ def skew_testcase():
 
 
 def run_backends():
+    """Sweep backends x transports x workers; return JSON-able records."""
     query, db = skew_testcase()
-    rows = []
+    records = []
     counts = set()
-    serial_measured: dict[int, float] = {}
+    serial_measured: dict[tuple[int, str], float] = {}
     for workers in WORKER_SWEEP:
         cluster = Cluster(num_workers=workers)
         for backend in BACKENDS:
-            executor = create_executor(backend, max_workers=workers)
-            try:
-                start = time.perf_counter()
-                result = run_engine_safely(HCubeJ(), query, db, cluster,
-                                           executor=executor)
-                measured = time.perf_counter() - start
-            finally:
-                executor.close()
-            assert result.ok, f"{backend} failed: {result.failure}"
-            counts.add(result.count)
-            if backend == "serial":
-                serial_measured[workers] = measured
-            speedup = serial_measured[workers] / measured
-            tel = result.telemetry
-            rows.append([
-                backend,
-                workers,
-                f"{result.count:,}",
-                f"{result.breakdown.total:.4f}",
-                f"{measured:.4f}",
-                f"{tel.phase_seconds.get('shuffle', 0.0):.4f}",
-                f"{tel.phase_seconds.get('local_join', 0.0):.4f}",
-                f"{speedup:.2f}x",
-            ])
+            for transport in TRANSPORT_SWEEP:
+                executor = create_executor(backend, max_workers=workers,
+                                           transport=transport)
+                try:
+                    start = time.perf_counter()
+                    result = run_engine_safely(HCubeJ(), query, db,
+                                               cluster, executor=executor)
+                    measured = time.perf_counter() - start
+                finally:
+                    executor.close()
+                assert result.ok, \
+                    f"{backend}/{transport} failed: {result.failure}"
+                counts.add(result.count)
+                if backend == "serial":
+                    serial_measured[(workers, transport)] = measured
+                plane = result.extra.get("data_plane", {})
+                tel = result.telemetry
+                records.append({
+                    "backend": backend,
+                    "transport": transport,
+                    "workers": workers,
+                    "count": result.count,
+                    "modeled_seconds": result.breakdown.total,
+                    "measured_seconds": measured,
+                    "shuffle_seconds":
+                        tel.phase_seconds.get("shuffle", 0.0),
+                    "publish_seconds":
+                        tel.phase_seconds.get("publish", 0.0),
+                    "join_seconds":
+                        tel.phase_seconds.get("local_join", 0.0),
+                    "speedup_vs_serial":
+                        serial_measured[(workers, transport)] / measured,
+                    "coordinator_shipped_bytes":
+                        plane.get("shipped_bytes", 0),
+                    "published_bytes": plane.get("published_bytes", 0),
+                })
     assert len(counts) == 1, f"backends disagree: {counts}"
-    return rows
+    # The zero-copy plane must move strictly fewer coordinator-pickled
+    # bytes than the pickle plane on the same (backend, workers) run.
+    by_key = {(r["backend"], r["workers"], r["transport"]): r
+              for r in records}
+    for workers in WORKER_SWEEP:
+        for backend in BACKENDS:
+            shm = by_key[(backend, workers, "shm")]
+            pik = by_key[(backend, workers, "pickle")]
+            assert (shm["coordinator_shipped_bytes"]
+                    < pik["coordinator_shipped_bytes"]), \
+                (f"shm did not reduce shipped bytes at "
+                 f"{backend}/{workers}")
+    return records
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write machine-readable records "
+                             "(e.g. BENCH_runtime.json)")
+    args = parser.parse_args(argv)
     cores = available_parallelism()
-    rows = run_backends()
+    records = run_backends()
+    rows = [[r["backend"], r["transport"], r["workers"],
+             f"{r['count']:,}",
+             f"{r['modeled_seconds']:.4f}",
+             f"{r['measured_seconds']:.4f}",
+             f"{r['coordinator_shipped_bytes']:,}",
+             f"{r['speedup_vs_serial']:.2f}x"]
+            for r in records]
     table = fmt_table(
-        ["backend", "workers", "count", "modeled_s", "measured_s",
-         "shuffle_s", "join_s", "speedup_vs_serial"],
+        ["backend", "transport", "workers", "count", "modeled_s",
+         "measured_s", "shipped_B", "speedup_vs_serial"],
         rows,
-        title=(f"Runtime backends on the synthetic skew graph "
-               f"({SKEW_EDGES:,} edges, {cores} usable core(s))"))
+        title=(f"Runtime backends x transports on the synthetic skew "
+               f"graph ({SKEW_EDGES:,} edges, {cores} usable core(s))"))
     note = ("\nNote: 'modeled_s' is the cost-model total for the "
             "simulated 28-node-style cluster; 'measured_s' is real "
-            "wall-clock on this machine.  The processes backend needs "
-            ">= as many usable cores as workers to show its speedup; "
-            f"this machine exposes {cores}.")
+            "wall-clock on this machine.  'shipped_B' counts bytes the "
+            "coordinator serialized into task payloads — full partition "
+            "matrices under the pickle transport, (block, dtype, shape, "
+            "row-index) descriptors under shm.  The processes backend "
+            "needs >= as many usable cores as workers to show its "
+            f"speedup; this machine exposes {cores}.")
     report("runtime_backends", table + note)
+    if args.json:
+        payload = {
+            "bench": "runtime_backends",
+            "skew_edges": SKEW_EDGES,
+            "usable_cores": cores,
+            "records": records,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json} ({len(records)} records)")
 
 
 def test_bench_runtime_backends():
     """Tier-2 entry point: the sweep runs and backends agree."""
-    main()
+    main([])
 
 
 if __name__ == "__main__":

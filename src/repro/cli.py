@@ -31,6 +31,7 @@ from .engines import (
 from .ghd import optimal_hypertree
 from .query import PAPER_QUERIES
 from .runtime import executor_for
+from .runtime.transport import TRANSPORTS, default_transport_name
 from .wcoj import leapfrog_join
 from .workloads import make_testcase
 
@@ -74,16 +75,22 @@ def _cmd_run(args) -> int:
     query, db = make_testcase(args.dataset, args.query, scale=args.scale)
     cluster = Cluster(num_workers=args.workers, runtime=args.backend)
     names = list(_ENGINES) if args.engine == "all" else [args.engine]
+    use_runtime = args.backend != "serial" or args.transport is not None
+    transport = (args.transport or default_transport_name()) \
+        if use_runtime else "inline"
     print(f"test-case ({args.dataset.upper()},{args.query}), "
           f"{len(db[query.atoms[0].relation]):,} edges/relation, "
-          f"{cluster.num_workers} workers, backend={args.backend}")
+          f"{cluster.num_workers} workers, backend={args.backend}, "
+          f"transport={transport}")
     print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
           f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8}")
     counts = set()
     executor = None
-    if args.backend != "serial":
-        # executor_for caps process pools at the usable CPU count.
-        executor = executor_for(cluster)
+    if use_runtime:
+        # executor_for caps process pools at the usable CPU count.  An
+        # explicit --transport forces the runtime path even on the
+        # serial backend so the data plane is exercised.
+        executor = executor_for(cluster, transport=transport)
     try:
         for name in names:
             result = run_engine_safely(_build_engine(name, args.samples),
@@ -179,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["serial", "threads", "processes"],
                        help="runtime backend for local per-worker "
                             "computation (default: serial)")
+    run_p.add_argument("--transport", default=None,
+                       choices=sorted(TRANSPORTS),
+                       help="data plane carrying task payloads: 'pickle' "
+                            "ships partition matrices, 'shm' ships "
+                            "shared-memory descriptors (default: "
+                            "$REPRO_TRANSPORT or pickle)")
 
     plan_p = sub.add_parser("plan", help="show the ADJ plan for a "
                                          "test-case")

@@ -2,8 +2,10 @@
 
 from .cluster import Cluster, default_workers
 from .hcube import (
+    HCubeRouting,
     HCubeShuffleResult,
     HypercubeGrid,
+    hcube_route,
     hcube_shuffle,
     local_atom_name,
     localized_query,
@@ -18,7 +20,7 @@ from .partitioner import (
     frac_factor,
     optimize_shares,
 )
-from .shuffle import broadcast_stats, hash_partition
+from .shuffle import broadcast_stats, hash_partition, hash_partition_rows
 from .skew import SkewReport, skew_report, straggler_slowdown
 
 __all__ = [
@@ -27,8 +29,10 @@ __all__ = [
     "straggler_slowdown",
     "Cluster",
     "default_workers",
+    "HCubeRouting",
     "HCubeShuffleResult",
     "HypercubeGrid",
+    "hcube_route",
     "hcube_shuffle",
     "local_atom_name",
     "localized_query",
@@ -45,4 +49,5 @@ __all__ = [
     "optimize_shares",
     "broadcast_stats",
     "hash_partition",
+    "hash_partition_rows",
 ]

@@ -40,9 +40,11 @@ __all__ = [
     "mix_hash",
     "modulo_hash",
     "HypercubeGrid",
+    "HCubeRouting",
     "HCubeShuffleResult",
     "localized_query",
     "local_atom_name",
+    "hcube_route",
     "hcube_shuffle",
     "MEMORY_FOOTPRINT",
 ]
@@ -169,8 +171,53 @@ class HypercubeGrid:
 
 
 @dataclass
+class HCubeRouting:
+    """Routing-only outcome of an HCube shuffle: assignments, not copies.
+
+    ``atom_rows[ai][cube]`` holds the row indices of atom ``ai``'s source
+    relation that belong to ``cube``.  No tuple is materialized — the
+    data plane (:mod:`repro.runtime.transport`) decides whether those
+    assignments become pickled partition matrices or shared-memory
+    descriptors.  Stats are identical to the materializing shuffle by
+    construction (:func:`hcube_shuffle` is implemented on top of this).
+    """
+
+    grid: HypercubeGrid
+    impl: str
+    atom_rows: list[list[np.ndarray]]
+    stats: ShuffleStats
+    worker_loads: dict[int, int] = field(default_factory=dict)
+    prebuilt_tries: bool = False
+
+    @property
+    def local_query(self) -> JoinQuery:
+        return localized_query(self.grid.query)
+
+    def materialize(self, db: Database) -> "HCubeShuffleResult":
+        """Copy the routed rows into per-cube local databases."""
+        query = self.grid.query
+        num_cubes = self.grid.num_cubes
+        cube_relations: list[list[Relation]] = [[] for _ in range(num_cubes)]
+        for ai, atom in enumerate(query.atoms):
+            data = db[atom.relation].data
+            local_name = local_atom_name(atom, ai)
+            for cube in range(num_cubes):
+                cube_relations[cube].append(
+                    Relation(local_name, atom.attributes,
+                             data[self.atom_rows[ai][cube]], dedup=False))
+        return HCubeShuffleResult(
+            grid=self.grid,
+            impl=self.impl,
+            cube_databases=[Database(rels) for rels in cube_relations],
+            stats=self.stats,
+            worker_loads=self.worker_loads,
+            prebuilt_tries=self.prebuilt_tries,
+        )
+
+
+@dataclass
 class HCubeShuffleResult:
-    """Outcome of one HCube shuffle."""
+    """Outcome of one (materialized) HCube shuffle."""
 
     grid: HypercubeGrid
     impl: str
@@ -184,24 +231,25 @@ class HCubeShuffleResult:
         return localized_query(self.grid.query)
 
 
-def hcube_shuffle(query: JoinQuery, db: Database, grid: HypercubeGrid,
-                  impl: str = "pull",
-                  memory_tuples: float | None = None) -> HCubeShuffleResult:
-    """Route every atom's tuples to the cubes that need them.
+def hcube_route(query: JoinQuery, db: Database, grid: HypercubeGrid,
+                impl: str = "pull",
+                memory_tuples: float | None = None) -> HCubeRouting:
+    """Compute per-cube routing assignments without copying any tuple.
 
-    Returns per-cube local databases (relation names follow
-    :func:`local_atom_name`, columns renamed to query variables) plus the
-    :class:`ShuffleStats` for the chosen implementation's accounting.
+    Returns row indices per (atom, cube) plus the same
+    :class:`ShuffleStats` / OOM accounting as the materializing
+    :func:`hcube_shuffle` — the modeled cluster's data movement does not
+    depend on which physical transport later carries it.
     """
     if impl not in ("push", "pull", "merge"):
         raise PlanError(f"unknown HCube implementation {impl!r}")
     stats = ShuffleStats()
     num_cubes = grid.num_cubes
-    cube_relations: list[list[Relation]] = [[] for _ in range(num_cubes)]
+    atom_rows: list[list[np.ndarray]] = []
     worker_loads: dict[int, int] = {w: 0 for w in range(grid.num_workers)}
     coords = [grid.coordinate_of(c) for c in range(num_cubes)]
 
-    for ai, atom in enumerate(query.atoms):
+    for atom in query.atoms:
         rel = db[atom.relation]
         if rel.arity != atom.arity:
             raise PlanError(f"atom {atom} does not match relation {rel.name}")
@@ -211,25 +259,25 @@ def hcube_shuffle(query: JoinQuery, db: Database, grid: HypercubeGrid,
         sorted_ids = block_ids[order]
         boundaries = np.searchsorted(
             sorted_ids, np.arange(0, 1 + int(sorted_ids.max(initial=0)) + 1))
-        local_name = local_atom_name(atom, ai)
 
         def block_rows(block: int) -> np.ndarray:
             if block + 1 >= boundaries.shape[0]:
                 return order[0:0]
             return order[boundaries[block]:boundaries[block + 1]]
 
+        rows_per_cube: list[np.ndarray] = []
+        atom_copies = 0
         seen_by_worker: dict[int, set[int]] = {}
         for cube in range(num_cubes):
             block = grid.cube_block_id(atom, coords[cube])
             rows = block_rows(block)
-            cube_relations[cube].append(
-                Relation(local_name, atom.attributes, data[rows],
-                         dedup=False))
+            rows_per_cube.append(rows)
             size = int(rows.shape[0])
             worker = grid.worker_of_cube(cube)
             if impl == "push":
                 # Tuple-at-a-time: every (tuple, cube) pair is a message.
                 stats.tuple_copies += size
+                atom_copies += size
                 worker_loads[worker] += size
             else:
                 # Block pull: a worker fetches each distinct block once.
@@ -238,8 +286,13 @@ def hcube_shuffle(query: JoinQuery, db: Database, grid: HypercubeGrid,
                     seen.add(block)
                     stats.tuple_copies += size
                     stats.blocks_fetched += 1
+                    atom_copies += size
                     worker_loads[worker] += size
-        stats.bytes_copied = stats.tuple_copies * rel.arity * 8
+        # Accumulate per atom at the atom's own arity (an older version
+        # overwrote the counter with the last atom's arity applied to
+        # *all* copies, misaccounting mixed-arity queries).
+        stats.bytes_copied += atom_copies * rel.arity * 8
+        atom_rows.append(rows_per_cube)
 
     stats.max_worker_tuples = max(worker_loads.values(), default=0)
     if memory_tuples is not None:
@@ -248,11 +301,26 @@ def hcube_shuffle(query: JoinQuery, db: Database, grid: HypercubeGrid,
             if load * footprint > memory_tuples:
                 raise OutOfMemory(worker, int(load * footprint),
                                   int(memory_tuples))
-    return HCubeShuffleResult(
+    return HCubeRouting(
         grid=grid,
         impl=impl,
-        cube_databases=[Database(rels) for rels in cube_relations],
+        atom_rows=atom_rows,
         stats=stats,
         worker_loads=worker_loads,
         prebuilt_tries=(impl == "merge"),
     )
+
+
+def hcube_shuffle(query: JoinQuery, db: Database, grid: HypercubeGrid,
+                  impl: str = "pull",
+                  memory_tuples: float | None = None) -> HCubeShuffleResult:
+    """Route every atom's tuples to the cubes that need them.
+
+    Returns per-cube local databases (relation names follow
+    :func:`local_atom_name`, columns renamed to query variables) plus the
+    :class:`ShuffleStats` for the chosen implementation's accounting.
+    Implemented as :func:`hcube_route` + materialization, so routing
+    assignments and materialized partitions can never diverge.
+    """
+    return hcube_route(query, db, grid, impl=impl,
+                       memory_tuples=memory_tuples).materialize(db)

@@ -16,15 +16,19 @@ from ..errors import SchemaError
 from .hcube import HashFn, mix_hash
 from .metrics import ShuffleStats
 
-__all__ = ["hash_partition", "broadcast_stats"]
+__all__ = ["hash_partition", "hash_partition_rows", "broadcast_stats"]
 
 
-def hash_partition(relation: Relation, key_attrs: Sequence[str],
-                   num_workers: int, hash_fn: HashFn = mix_hash,
-                   salt: int = 0) -> tuple[list[Relation], ShuffleStats]:
-    """Split ``relation`` across workers by hash of ``key_attrs``.
+def hash_partition_rows(relation: Relation, key_attrs: Sequence[str],
+                        num_workers: int, hash_fn: HashFn = mix_hash,
+                        salt: int = 0
+                        ) -> tuple[list[np.ndarray], ShuffleStats]:
+    """Routing-only hash partition: per-worker row indices, no copies.
 
-    Every tuple travels once, so ``tuple_copies == len(relation)``.
+    The data plane decides how the assignment becomes physical movement
+    (:mod:`repro.runtime.transport`); the stats describe the modeled
+    movement either way.  Every tuple is routed exactly once, so
+    ``tuple_copies == len(relation)``.
     """
     key_attrs = tuple(key_attrs)
     if not key_attrs:
@@ -34,17 +38,27 @@ def hash_partition(relation: Relation, key_attrs: Sequence[str],
         ids = ids * np.int64(num_workers) + hash_fn(
             relation.column(attr), num_workers, salt + i)
     ids %= num_workers
-    parts = []
-    for w in range(num_workers):
-        parts.append(Relation(relation.name, relation.attributes,
-                              relation.data[ids == w], dedup=False))
-    loads = [len(p) for p in parts]
+    rows = [np.flatnonzero(ids == w) for w in range(num_workers)]
     stats = ShuffleStats(
         tuple_copies=len(relation),
         blocks_fetched=num_workers,
         bytes_copied=relation.nbytes,
-        max_worker_tuples=max(loads, default=0),
+        max_worker_tuples=max((int(r.shape[0]) for r in rows), default=0),
     )
+    return rows, stats
+
+
+def hash_partition(relation: Relation, key_attrs: Sequence[str],
+                   num_workers: int, hash_fn: HashFn = mix_hash,
+                   salt: int = 0) -> tuple[list[Relation], ShuffleStats]:
+    """Split ``relation`` across workers by hash of ``key_attrs``.
+
+    Materializing wrapper over :func:`hash_partition_rows`.
+    """
+    rows, stats = hash_partition_rows(relation, key_attrs, num_workers,
+                                      hash_fn=hash_fn, salt=salt)
+    parts = [Relation(relation.name, relation.attributes,
+                      relation.data[r], dedup=False) for r in rows]
     return parts, stats
 
 

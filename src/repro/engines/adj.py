@@ -136,6 +136,8 @@ class ADJ:
         }
         if outcome.telemetry is not None:
             extra["telemetry"] = outcome.telemetry
+        if outcome.data_plane is not None:
+            extra["data_plane"] = outcome.data_plane
         if optimizer_report is not None:
             extra["explored_configurations"] = \
                 optimizer_report.explored_configurations

@@ -25,13 +25,13 @@ from __future__ import annotations
 
 from ..data.database import Database
 from ..distributed.cluster import Cluster
-from ..distributed.hcube import HypercubeGrid, hcube_shuffle
+from ..distributed.hcube import HypercubeGrid, hcube_route
 from ..distributed.metrics import ShuffleStats
 from ..errors import BudgetExceeded, OutOfMemory
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
 from ..runtime.scheduler import (
-    build_worker_tasks,
+    build_routed_tasks,
     merge_task_results,
     run_worker_tasks,
 )
@@ -68,12 +68,22 @@ class BigJoin:
         shares[order[0]] = cluster.num_workers
         grid = HypercubeGrid(query, shares, cluster.num_workers)
         with telemetry.measure("shuffle"):
-            shuffle = hcube_shuffle(query, db, grid, impl="pull")
-        tasks = build_worker_tasks(shuffle, order,
-                                   budget=self.work_budget)
-        results = run_worker_tasks(executor, tasks, telemetry=telemetry)
-        return merge_task_results(results, len(order),
-                                  budget=self.work_budget)
+            routing = hcube_route(query, db, grid, impl="pull")
+        transport = executor.transport
+        try:
+            with telemetry.measure("publish"):
+                tasks = build_routed_tasks(routing, db, order,
+                                           budget=self.work_budget,
+                                           transport=transport)
+            results = run_worker_tasks(executor, tasks,
+                                       telemetry=telemetry)
+            merged = merge_task_results(results, len(order),
+                                        budget=self.work_budget)
+            data_plane = dict(transport.stats.as_dict(),
+                              transport=transport.name)
+            return merged, data_plane
+        finally:
+            transport.teardown()
 
     def run(self, query: JoinQuery, db: Database, cluster: Cluster,
             executor: Executor | None = None) -> EngineResult:
@@ -83,11 +93,13 @@ class BigJoin:
             query.num_atoms * query.num_attributes
             / cluster.params.beta_work, "optimization")
         telemetry = None
+        data_plane = None
         if executor is not None:
             telemetry = RuntimeTelemetry(backend=executor.name,
                                          num_workers=cluster.num_workers)
-            merged = self._parallel_pass(query, db, cluster, order,
-                                         executor, telemetry)
+            merged, data_plane = self._parallel_pass(query, db, cluster,
+                                                     order, executor,
+                                                     telemetry)
             count = merged.count
             level_tuples = merged.level_tuples
             intersection_work = merged.total_work
@@ -128,6 +140,8 @@ class BigJoin:
         }
         if telemetry is not None:
             extra["telemetry"] = telemetry
+        if data_plane is not None:
+            extra["data_plane"] = data_plane
         return EngineResult(
             engine=self.name,
             query=query.name,

@@ -60,6 +60,8 @@ class HCubeJ:
         }
         if outcome.telemetry is not None:
             extra["telemetry"] = outcome.telemetry
+        if outcome.data_plane is not None:
+            extra["data_plane"] = outcome.data_plane
         return EngineResult(
             engine=self.name,
             query=query.name,

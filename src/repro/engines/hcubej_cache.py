@@ -13,7 +13,6 @@ from ..data.database import Database
 from ..distributed.cluster import Cluster
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
-from ..wcoj.cache import IntersectionCache
 from .base import EngineResult, attach_degree_order
 from .hcubej import HCubeJ
 from .one_round import one_round_execute
@@ -26,33 +25,45 @@ _DEFAULT_CAPACITY_FACTOR = 4
 
 
 class HCubeJCache(HCubeJ):
-    """HCubeJ with a bounded per-cube intersection cache."""
+    """HCubeJ with a bounded per-cube intersection cache.
+
+    Caches are worker-local: the coordinator only computes a *capacity*
+    per worker (from the memory the shuffle left), and each worker — on
+    any runtime backend — builds its own per-cube cache.  Hit/miss
+    totals are deterministic and identical across backends.
+    """
 
     name = "HCubeJ+Cache"
     hcube_impl = "push"
 
     def run(self, query: JoinQuery, db: Database, cluster: Cluster,
             executor: Executor | None = None) -> EngineResult:
-        # The intersection caches are in-process objects, so this engine
-        # always evaluates inline; ``executor`` is accepted for protocol
-        # uniformity and ignored (one_round_execute enforces the same).
-        del executor
         ledger = cluster.new_ledger()
         self._charge_optimization(query, cluster, ledger)
         order = self.order or attach_degree_order(query, db)
         budget = cluster.memory_tuples_per_worker
 
-        def cache_factory(worker_load: int) -> IntersectionCache:
+        def cache_capacity(worker_load: int) -> int:
             if budget is None:
-                capacity = worker_load * _DEFAULT_CAPACITY_FACTOR
-            else:
-                # Values of leftover memory after the shuffle (>= 0).
-                capacity = max(0, int(budget) - worker_load)
-            return IntersectionCache(capacity)
+                return worker_load * _DEFAULT_CAPACITY_FACTOR
+            # Values of leftover memory after the shuffle (>= 0).
+            return max(0, int(budget) - worker_load)
 
         outcome = one_round_execute(
             query, db, cluster, order, ledger, impl=self.hcube_impl,
-            cache_factory=cache_factory, work_budget=self.work_budget)
+            cache_capacity=cache_capacity, work_budget=self.work_budget,
+            executor=executor)
+        extra = {
+            "order": order,
+            "level_tuples": outcome.level_tuples,
+            "leapfrog_work": outcome.leapfrog_work,
+            "cache_hits": outcome.cache_hits,
+            "cache_misses": outcome.cache_misses,
+        }
+        if outcome.telemetry is not None:
+            extra["telemetry"] = outcome.telemetry
+        if outcome.data_plane is not None:
+            extra["data_plane"] = outcome.data_plane
         return EngineResult(
             engine=self.name,
             query=query.name,
@@ -60,11 +71,5 @@ class HCubeJCache(HCubeJ):
             breakdown=ledger.breakdown(),
             shuffled_tuples=outcome.shuffled_tuples,
             rounds=1,
-            extra={
-                "order": order,
-                "level_tuples": outcome.level_tuples,
-                "leapfrog_work": outcome.leapfrog_work,
-                "cache_hits": outcome.cache_hits,
-                "cache_misses": outcome.cache_misses,
-            },
+            extra=extra,
         )

@@ -8,12 +8,19 @@ Two execution paths produce identical counts and identical modeled
 costs:
 
 - the **inline path** (default, ``executor=None``) evaluates every cube
-  in the calling process, exactly the historical simulated behaviour —
-  it also carries the per-cube intersection caches HCubeJ+Cache needs;
-- the **runtime path** (any :class:`repro.runtime.Executor`) groups each
-  worker's cubes into a :class:`repro.runtime.WorkerTask` and runs them
-  on the chosen backend, recording measured wall-clock telemetry next to
-  the modeled ledger.
+  in the calling process, exactly the historical simulated behaviour;
+- the **runtime path** (any :class:`repro.runtime.Executor`) computes
+  routing assignments only (:func:`repro.distributed.hcube.hcube_route`),
+  publishes the source columns through the executor's data-plane
+  transport, and ships workers per-cube descriptors — workers slice
+  their own partitions, so under the ``shm`` transport large arrays
+  never cross the process boundary through pickle.  Measured wall-clock
+  telemetry and physical data-plane stats are recorded next to the
+  modeled ledger.
+
+Intersection caches (HCubeJ+Cache) are worker-local: the coordinator
+ships a capacity, each worker builds its own per-cube cache, and the
+merged hit/miss counters equal the inline path's.
 """
 
 from __future__ import annotations
@@ -24,14 +31,14 @@ from typing import Callable, Sequence
 
 from ..data.database import Database
 from ..distributed.cluster import Cluster
-from ..distributed.hcube import HypercubeGrid, hcube_shuffle
-from ..distributed.metrics import CostLedger
+from ..distributed.hcube import HypercubeGrid, hcube_route
+from ..distributed.metrics import CostLedger, ShuffleStats
 from ..distributed.partitioner import optimize_shares
 from ..errors import BudgetExceeded
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
 from ..runtime.scheduler import (
-    build_worker_tasks,
+    build_routed_tasks,
     merge_task_results,
     run_worker_tasks,
 )
@@ -56,13 +63,19 @@ class OneRoundOutcome:
     worker_work: dict[int, float] | None = None
     worker_loads: dict[int, int] | None = None
     telemetry: RuntimeTelemetry | None = None
+    #: Physical data-plane movement (runtime path only): what the
+    #: coordinator actually serialized into task payloads.  Under the
+    #: shm transport ``data_plane_stats.bytes_copied`` counts descriptor
+    #: bytes, not full array bytes — the modeled ``ShuffleStats`` are
+    #: transport-independent.
+    data_plane: dict | None = None
+    data_plane_stats: ShuffleStats | None = None
 
 
 def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                       order: Sequence[str], ledger: CostLedger,
                       impl: str = "push",
-                      cache_factory: Callable[[int], IntersectionCache | None]
-                      | None = None,
+                      cache_capacity: Callable[[int], int] | None = None,
                       work_budget: int | None = None,
                       comm_phase: str = "communication",
                       executor: Executor | None = None,
@@ -70,14 +83,17 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                       ) -> OneRoundOutcome:
     """Shuffle with HCube, then run Leapfrog on every cube.
 
-    ``cache_factory(worker_load)`` may supply a per-cube intersection
-    cache sized from the memory left after the shuffle (HCubeJ+Cache).
+    ``cache_capacity(worker_load)`` sizes a per-cube intersection cache
+    from the memory left after the shuffle (HCubeJ+Cache); it must be a
+    coordinator-side callable returning plain ints so the capacity —
+    never the cache object — crosses the process boundary.
     Communication is charged to ``comm_phase`` so ADJ can book the bag
     shuffles under pre-computing.
 
     ``executor`` selects the runtime backend for the per-cube Leapfrog
-    work; caches are in-process objects, so a non-null ``cache_factory``
-    forces the inline path regardless of the executor.
+    work; its :attr:`~repro.runtime.Executor.transport` carries the
+    payloads and is torn down (segments released) when the run finishes,
+    successfully or not.
     """
     if telemetry is None and executor is not None:
         telemetry = RuntimeTelemetry(backend=executor.name,
@@ -87,26 +103,44 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                              memory_tuples=cluster.memory_tuples_per_worker)
     grid = HypercubeGrid(query, shares, cluster.num_workers)
     shuffle_start = time.perf_counter()
-    shuffle = hcube_shuffle(query, db, grid, impl=impl,
-                            memory_tuples=cluster.memory_tuples_per_worker)
+    routing = hcube_route(query, db, grid, impl=impl,
+                          memory_tuples=cluster.memory_tuples_per_worker)
     if telemetry is not None:
         telemetry.record("shuffle", time.perf_counter() - shuffle_start)
-    ledger.charge_shuffle(shuffle.stats, impl, phase=comm_phase)
+    ledger.charge_shuffle(routing.stats, impl, phase=comm_phase)
     # Local trie construction (skipped cost-wise by Merge: blocks arrive
     # as pre-built tries and only need merging).
-    rate = (cluster.params.trie_merge_rate if shuffle.prebuilt_tries
+    rate = (cluster.params.trie_merge_rate if routing.prebuilt_tries
             else cluster.params.trie_build_rate)
     ledger.charge_worker_work(
-        {w: float(load) for w, load in shuffle.worker_loads.items()},
+        {w: float(load) for w, load in routing.worker_loads.items()},
         rate=rate, phase="computation")
 
     order = tuple(order)
-    if executor is not None and cache_factory is None:
-        # Runtime path: per-worker tasks on the chosen backend.
-        tasks = build_worker_tasks(shuffle, order, budget=work_budget)
-        results = run_worker_tasks(executor, tasks, telemetry=telemetry)
-        merged = merge_task_results(results, len(order),
-                                    budget=work_budget)
+    if executor is not None:
+        # Runtime path: routing assignments + transport descriptors.
+        transport = executor.transport
+        try:
+            publish_start = time.perf_counter()
+            tasks = build_routed_tasks(routing, db, order,
+                                       budget=work_budget,
+                                       transport=transport,
+                                       cache_capacity=cache_capacity)
+            if telemetry is not None:
+                telemetry.record("publish",
+                                 time.perf_counter() - publish_start)
+            results = run_worker_tasks(executor, tasks, telemetry=telemetry)
+            merged = merge_task_results(results, len(order),
+                                        budget=work_budget)
+            data_plane = dict(transport.stats.as_dict(),
+                              transport=transport.name)
+            data_plane_stats = ShuffleStats(
+                tuple_copies=routing.stats.tuple_copies,
+                blocks_fetched=transport.stats.shipped_refs,
+                bytes_copied=transport.stats.shipped_bytes,
+                max_worker_tuples=routing.stats.max_worker_tuples)
+        finally:
+            transport.teardown()
         worker_work = {w: 0.0 for w in range(cluster.num_workers)}
         worker_work.update(merged.worker_work)
         ledger.charge_worker_work(worker_work, phase="computation")
@@ -114,13 +148,18 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
             count=merged.count,
             level_tuples=merged.level_tuples,
             leapfrog_work=merged.total_work,
-            shuffled_tuples=shuffle.stats.tuple_copies,
-            max_worker_tuples=shuffle.stats.max_worker_tuples,
+            shuffled_tuples=routing.stats.tuple_copies,
+            max_worker_tuples=routing.stats.max_worker_tuples,
+            cache_hits=merged.cache_hits,
+            cache_misses=merged.cache_misses,
             worker_work=worker_work,
-            worker_loads=dict(shuffle.worker_loads),
+            worker_loads=dict(routing.worker_loads),
             telemetry=telemetry,
+            data_plane=data_plane,
+            data_plane_stats=data_plane_stats,
         )
 
+    shuffle = routing.materialize(db)
     local_query = shuffle.local_query
     count = 0
     total_work = 0
@@ -132,8 +171,9 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
     for cube, cube_db in enumerate(shuffle.cube_databases):
         worker = grid.worker_of_cube(cube)
         cache = None
-        if cache_factory is not None:
-            cache = cache_factory(shuffle.worker_loads.get(worker, 0))
+        if cache_capacity is not None:
+            cache = IntersectionCache(int(cache_capacity(
+                shuffle.worker_loads.get(worker, 0))))
         remaining = None if work_budget is None \
             else max(0, work_budget - total_work)
         if remaining == 0:

@@ -8,11 +8,14 @@ shuffled volume explodes, producing the Fig. 1(a) gap and the missing
 bars of Fig. 12.
 
 With a :mod:`repro.runtime` executor each step really is that plan: both
-sides are hash-partitioned on the shared attributes, one
-:func:`repro.runtime.join_partition_task` per worker joins its partition
-pair, and the coordinator concatenates the (disjoint) partition outputs.
-Counts and modeled costs are identical to the inline path; measured
-telemetry is recorded alongside.
+sides are hash-partitioned *by routing assignment only*, the columns go
+through the executor's data-plane transport (full partitions under
+``pickle``, zero-copy shared-memory descriptors under ``shm``), one
+:func:`repro.runtime.worker.join_partition_pair_task` per worker joins
+its partition pair, and the coordinator concatenates the (disjoint)
+partition outputs.  Counts and modeled costs are identical to the inline
+path; measured telemetry and physical data-plane stats are recorded
+alongside.
 """
 
 from __future__ import annotations
@@ -25,12 +28,12 @@ from ..data.database import Database
 from ..data.relation import Relation
 from ..distributed.cluster import Cluster
 from ..distributed.metrics import ShuffleStats
-from ..distributed.shuffle import hash_partition
+from ..distributed.shuffle import hash_partition_rows
 from ..errors import BudgetExceeded, OutOfMemory
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
 from ..runtime.telemetry import RuntimeTelemetry
-from ..runtime.worker import join_partition_task
+from ..runtime.worker import PartitionJoinTask, join_partition_pair_task
 from ..wcoj.binary_join import greedy_left_deep_plan
 from .base import EngineResult
 
@@ -50,23 +53,42 @@ class SparkSQLJoin:
     def _partitioned_join(current: Relation, right: Relation,
                           common: tuple[str, ...], cluster: Cluster,
                           executor: Executor,
-                          telemetry: RuntimeTelemetry) -> Relation:
-        """One join step on the runtime: co-partition, join, concatenate.
+                          telemetry: RuntimeTelemetry,
+                          data_plane: dict) -> Relation:
+        """One join step on the runtime: route, ship refs, join, concat.
 
         Both sides hash on the same key order, so matching tuples land in
         the same partition and partition outputs are disjoint (equal
         output rows agree on the key, hence on the partition) — the
-        concatenation below needs no re-deduplication.
+        concatenation below needs no re-deduplication.  Each step is one
+        transport epoch: sources are published once, workers receive
+        descriptors, and segments are released before the next step.
         """
-        t0 = time.perf_counter()
-        left_parts, _ = hash_partition(current, common, cluster.num_workers)
-        right_parts, _ = hash_partition(right, common, cluster.num_workers)
-        pairs = [(l, r) for l, r in zip(left_parts, right_parts)
-                 if len(l) and len(r)]
-        telemetry.record("partition", time.perf_counter() - t0)
-        t1 = time.perf_counter()
-        joined = executor.map_tasks(join_partition_task, pairs)
-        telemetry.record("local_join", time.perf_counter() - t1)
+        transport = executor.transport
+        try:
+            t0 = time.perf_counter()
+            left_rows, _ = hash_partition_rows(current, common,
+                                               cluster.num_workers)
+            right_rows, _ = hash_partition_rows(right, common,
+                                                cluster.num_workers)
+            lkey = transport.publish(f"step:{current.name}", current.data)
+            rkey = transport.publish(f"step:{right.name}", right.data)
+            tasks = [
+                PartitionJoinTask(
+                    left=transport.make_ref(lkey, lr),
+                    left_attrs=current.attributes, left_name=current.name,
+                    right=transport.make_ref(rkey, rr),
+                    right_attrs=right.attributes, right_name=right.name)
+                for lr, rr in zip(left_rows, right_rows)
+                if lr.shape[0] and rr.shape[0]]
+            telemetry.record("partition", time.perf_counter() - t0)
+            t1 = time.perf_counter()
+            joined = executor.map_tasks(join_partition_pair_task, tasks)
+            telemetry.record("local_join", time.perf_counter() - t1)
+            for k, v in transport.stats.as_dict().items():
+                data_plane[k] = data_plane.get(k, 0) + v
+        finally:
+            transport.teardown()
         out_attrs = current.attributes + tuple(
             a for a in right.attributes if a not in common)
         out_name = f"({current.name}><{right.name})"
@@ -83,9 +105,11 @@ class SparkSQLJoin:
         ledger.charge_seconds(
             query.num_atoms ** 2 / cluster.params.beta_work, "optimization")
         telemetry = None
+        data_plane: dict = {}
         if executor is not None:
             telemetry = RuntimeTelemetry(backend=executor.name,
                                          num_workers=cluster.num_workers)
+            data_plane["transport"] = executor.transport.name
 
         def atom_relation(i: int) -> Relation:
             atom = query.atoms[i]
@@ -112,7 +136,8 @@ class SparkSQLJoin:
                 impl="pull")
             if telemetry is not None and common:
                 out = self._partitioned_join(current, right, common,
-                                             cluster, executor, telemetry)
+                                             cluster, executor, telemetry,
+                                             data_plane)
             else:
                 out = current.natural_join(right)
             work = len(current) + len(right) + len(out)
@@ -134,6 +159,7 @@ class SparkSQLJoin:
         }
         if telemetry is not None:
             extra["telemetry"] = telemetry
+            extra["data_plane"] = data_plane
         return EngineResult(
             engine=self.name,
             query=query.name,

@@ -6,17 +6,29 @@ memory consumption".  This engine makes that trade-off measurable: every
 bag is materialized (memory!), two distributed semijoin sweeps prune
 dangling tuples (extra rounds!), and the final joins are output-bounded.
 Used by the ablation benches against ADJ.
+
+With a :mod:`repro.runtime` executor the bag-materialization phase — the
+WCOJ-heavy part — runs as one task per bag on the chosen backend.  Source
+relations travel through the executor's data-plane transport (whole-array
+descriptors: under ``shm`` the broadcast to every bag is zero-copy), the
+semijoin sweeps and bottom-up joins stay coordinator-side, and counts,
+bag statistics and modeled costs are identical to the inline path.
 """
 
 from __future__ import annotations
 
+import time
+
 from ..data.database import Database
+from ..data.relation import Relation
 from ..distributed.cluster import Cluster
 from ..distributed.metrics import ShuffleStats
-from ..errors import OutOfMemory
+from ..errors import BudgetExceeded, OutOfMemory, WorkerCrashed
 from ..ghd.decomposition import Hypertree, optimal_hypertree
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
+from ..runtime.telemetry import RuntimeTelemetry
+from ..runtime.worker import BagTask, materialize_bag_task
 from ..wcoj.yannakakis import (
     YannakakisStats,
     full_reducer,
@@ -38,11 +50,65 @@ class YannakakisJoin:
         self.work_budget = work_budget
         self.hypertree = hypertree
 
+    def _materialize_parallel(self, query: JoinQuery, db: Database,
+                              tree: Hypertree, executor: Executor,
+                              stats: YannakakisStats,
+                              telemetry: RuntimeTelemetry,
+                              num_workers: int
+                              ) -> tuple[dict[int, Relation], dict]:
+        """One bag-materialization task per GHD bag, via the transport.
+
+        Results come back in bag order, so ``stats.bag_sizes`` and
+        ``bag_materialize_work`` accumulate exactly like the inline
+        :func:`~repro.wcoj.yannakakis.materialize_bags`.  Bags are
+        attributed to workers round-robin (the scheduler's cube
+        convention), so telemetry and crash reports carry worker ids
+        within ``num_workers`` even when there are more bags.
+        """
+        transport = executor.transport
+        try:
+            t0 = time.perf_counter()
+            keys = {atom.relation: transport.publish(
+                        f"rel:{atom.relation}", db[atom.relation].data)
+                    for atom in query.atoms}
+            tasks = []
+            for bag in tree.bags:
+                attrs = tuple(a for a in query.attributes
+                              if a in bag.attributes)
+                sub = JoinQuery([query.atoms[i] for i in bag.atom_indices],
+                                name=f"bag{bag.index}")
+                tasks.append(BagTask(
+                    index=bag.index, query=sub, order=attrs,
+                    arrays=tuple(transport.make_ref(keys[a.relation])
+                                 for a in sub.atoms),
+                    budget=self.work_budget))
+            telemetry.record("publish", time.perf_counter() - t0)
+            t1 = time.perf_counter()
+            results = executor.map_tasks(materialize_bag_task, tasks)
+            telemetry.record("precompute", time.perf_counter() - t1)
+            data_plane = dict(transport.stats.as_dict(),
+                              transport=transport.name)
+        finally:
+            transport.teardown()
+        bags: dict[int, Relation] = {}
+        for res in results:
+            if res.failure == "crash":
+                reason = res.failure_info[0] if res.failure_info \
+                    else "unknown"
+                raise WorkerCrashed(res.index % num_workers, reason)
+            if res.failure == "budget":
+                raise BudgetExceeded(*res.failure_info)
+            rel = Relation(f"bag{res.index}", res.attrs, res.data,
+                           dedup=False)
+            bags[res.index] = rel
+            stats.bag_materialize_work += res.work
+            stats.bag_sizes.append(len(rel))
+            telemetry.record_worker(res.index % num_workers,
+                                    res.total_seconds)
+        return bags, data_plane
+
     def run(self, query: JoinQuery, db: Database, cluster: Cluster,
             executor: Executor | None = None) -> EngineResult:
-        # Semijoin sweeps are global sequential passes; this engine has no
-        # parallel task decomposition yet, so the executor is ignored.
-        del executor
         ledger = cluster.new_ledger()
         params = cluster.params
         tree = self.hypertree or optimal_hypertree(query)
@@ -51,8 +117,17 @@ class YannakakisJoin:
         stats = YannakakisStats()
 
         # Phase 1: materialize bags (pre-computing: shuffle inputs + WCOJ).
-        bags = materialize_bags(query, db, tree, stats=stats,
-                                budget=self.work_budget)
+        telemetry = None
+        data_plane = None
+        if executor is not None:
+            telemetry = RuntimeTelemetry(backend=executor.name,
+                                         num_workers=cluster.num_workers)
+            bags, data_plane = self._materialize_parallel(
+                query, db, tree, executor, stats, telemetry,
+                cluster.num_workers)
+        else:
+            bags = materialize_bags(query, db, tree, stats=stats,
+                                    budget=self.work_budget)
         input_tuples = sum(len(db[a.relation]) for a in query.atoms)
         ledger.charge_seconds(input_tuples / params.alpha_pull, "precompute")
         ledger.charge_seconds(
@@ -66,7 +141,10 @@ class YannakakisJoin:
                                   int(cluster.memory_tuples_per_worker))
 
         # Phase 2: full reducer — each semijoin is a repartition round.
+        t_reduce = time.perf_counter()
         reduced = full_reducer(tree, bags, stats=stats)
+        if telemetry is not None:
+            telemetry.record("semijoin", time.perf_counter() - t_reduce)
         ledger.charge_shuffle(
             ShuffleStats(tuple_copies=stats.semijoin_tuples_scanned,
                          blocks_fetched=stats.semijoin_rounds
@@ -78,7 +156,10 @@ class YannakakisJoin:
             / (params.beta_work * cluster.num_workers), "computation")
 
         # Phase 3: bottom-up joins over the reduced bags.
+        t_join = time.perf_counter()
         result = join_reduced(query, tree, reduced, stats=stats)
+        if telemetry is not None:
+            telemetry.record("local_join", time.perf_counter() - t_join)
         join_work = stats.join_intermediate_tuples + sum(
             len(r) for r in reduced.values())
         ledger.charge_shuffle(
@@ -90,6 +171,15 @@ class YannakakisJoin:
             join_work / (params.beta_work * cluster.num_workers),
             "computation")
 
+        extra = {
+            "bag_sizes": stats.bag_sizes,
+            "semijoin_rounds": stats.semijoin_rounds,
+            "join_intermediates": stats.join_intermediate_tuples,
+        }
+        if telemetry is not None:
+            extra["telemetry"] = telemetry
+        if data_plane is not None:
+            extra["data_plane"] = data_plane
         return EngineResult(
             engine=self.name,
             query=query.name,
@@ -97,9 +187,5 @@ class YannakakisJoin:
             breakdown=ledger.breakdown(),
             shuffled_tuples=ledger.tuples_shuffled,
             rounds=1 + stats.semijoin_rounds + (tree.num_bags - 1),
-            extra={
-                "bag_sizes": stats.bag_sizes,
-                "semijoin_rounds": stats.semijoin_rounds,
-                "join_intermediates": stats.join_intermediate_tuples,
-            },
+            extra=extra,
         )

@@ -3,11 +3,15 @@
 The rest of the library *models* a distributed cluster (cost ledgers,
 simulated shuffles).  This subsystem adds the missing execution
 substrate: an :class:`Executor` abstraction with ``serial``, ``threads``
-and ``processes`` backends, a scheduler that turns an HCube shuffle into
-per-worker :class:`WorkerTask` batches, spawn-safe worker task functions,
-and wall-clock telemetry recorded next to the modeled cost breakdowns.
+and ``processes`` backends, a pluggable data-plane :class:`Transport`
+(``pickle`` payloads or zero-copy ``shm`` descriptors), a scheduler that
+turns HCube routing assignments into per-worker :class:`WorkerTask`
+batches, spawn-safe worker task functions, and wall-clock telemetry
+recorded next to the modeled cost breakdowns.
 
-See docs/runtime.md for backend selection and spawn-safety rules.
+See docs/runtime.md for backend selection and spawn-safety rules, and
+docs/data_plane.md for transport selection and shared-memory lifetime
+rules.
 """
 
 from .executor import (
@@ -21,16 +25,32 @@ from .executor import (
 )
 from .scheduler import (
     MergedOutcome,
+    build_routed_tasks,
     build_worker_tasks,
     merge_task_results,
     run_worker_tasks,
 )
 from .telemetry import RuntimeTelemetry, modeled_vs_measured
+from .transport import (
+    ArrayRef,
+    PickleTransport,
+    SharedMemoryTransport,
+    Transport,
+    TransportStats,
+    create_transport,
+    default_transport_name,
+    resolve_array_ref,
+)
 from .worker import (
+    BagTask,
+    BagTaskResult,
+    PartitionJoinTask,
     WorkerTask,
     WorkerTaskResult,
     execute_worker_task,
+    join_partition_pair_task,
     join_partition_task,
+    materialize_bag_task,
 )
 
 __all__ = [
@@ -42,13 +62,27 @@ __all__ = [
     "create_executor",
     "executor_for",
     "MergedOutcome",
+    "build_routed_tasks",
     "build_worker_tasks",
     "merge_task_results",
     "run_worker_tasks",
     "RuntimeTelemetry",
     "modeled_vs_measured",
+    "ArrayRef",
+    "Transport",
+    "TransportStats",
+    "PickleTransport",
+    "SharedMemoryTransport",
+    "create_transport",
+    "default_transport_name",
+    "resolve_array_ref",
+    "BagTask",
+    "BagTaskResult",
+    "PartitionJoinTask",
     "WorkerTask",
     "WorkerTaskResult",
     "execute_worker_task",
+    "join_partition_pair_task",
     "join_partition_task",
+    "materialize_bag_task",
 ]

@@ -17,6 +17,13 @@ Failure contract: a task that raises anything other than a
 :class:`repro.errors.ReproError` — or a worker process that dies — is
 converted into :class:`repro.errors.WorkerCrashed` so engines fail
 cleanly instead of hanging or leaking backend internals.
+
+Every executor also owns a data-plane :class:`Transport`
+(:mod:`repro.runtime.transport`) and exposes ``setup``/``teardown``
+lifecycle hooks.  ``teardown`` releases whatever the transport published
+(shared-memory segments under ``shm``) and is called from ``close()`` —
+including the failure path of ``map_tasks`` — so segments are reclaimed
+even when a worker task crashes mid-run.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from concurrent.futures import (
 from typing import Callable, Sequence, TypeVar
 
 from ..errors import ConfigError, ReproError, WorkerCrashed
+from .transport import Transport, create_transport
 
 __all__ = [
     "Executor",
@@ -59,8 +67,22 @@ class Executor(ABC):
 
     name: str = "abstract"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None,
+                 transport: "Transport | str | None" = None):
         self.max_workers = max(1, int(max_workers or 1))
+        self._transport: Transport | None = (
+            create_transport(transport) if transport is not None else None)
+
+    @property
+    def transport(self) -> Transport:
+        """The data plane carrying task payload arrays to workers.
+
+        Resolved lazily so an unconfigured executor honours the
+        ``REPRO_TRANSPORT`` environment default at first use.
+        """
+        if self._transport is None:
+            self._transport = create_transport()
+        return self._transport
 
     @abstractmethod
     def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
@@ -71,8 +93,21 @@ class Executor(ABC):
         wraps everything else in :class:`WorkerCrashed`.
         """
 
+    def setup(self) -> None:
+        """Acquire backend + transport resources ahead of time (idempotent)."""
+        self.transport.setup()
+
+    def teardown(self) -> None:
+        """Release transport-published resources (idempotent).
+
+        Safe to call between runs: the next publish starts a new epoch.
+        """
+        if self._transport is not None:
+            self._transport.teardown()
+
     def close(self) -> None:
-        """Release pool resources (idempotent)."""
+        """Release pool and transport resources (idempotent)."""
+        self.teardown()
 
     def __enter__(self) -> "Executor":
         return self
@@ -106,8 +141,9 @@ class SerialExecutor(Executor):
 class _PoolExecutor(Executor):
     """Shared submit/collect logic for the two real pool backends."""
 
-    def __init__(self, max_workers: int | None = None):
-        super().__init__(max_workers)
+    def __init__(self, max_workers: int | None = None,
+                 transport: "Transport | str | None" = None):
+        super().__init__(max_workers, transport=transport)
         self._pool = None
 
     def _make_pool(self):  # pragma: no cover - overridden
@@ -117,6 +153,10 @@ class _PoolExecutor(Executor):
         if self._pool is None:
             self._pool = self._make_pool()
         return self._pool
+
+    def setup(self) -> None:
+        super().setup()
+        self._ensure_pool()
 
     def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
                   ) -> list[R]:
@@ -155,6 +195,7 @@ class _PoolExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        super().close()
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -173,8 +214,9 @@ class ProcessExecutor(_PoolExecutor):
     name = "processes"
 
     def __init__(self, max_workers: int | None = None,
+                 transport: "Transport | str | None" = None,
                  start_method: str | None = None):
-        super().__init__(max_workers)
+        super().__init__(max_workers, transport=transport)
         self.start_method = start_method
 
     def _make_pool(self):
@@ -194,8 +236,13 @@ _BACKENDS: dict[str, type[Executor]] = {
 
 
 def create_executor(backend: str, max_workers: int | None = None,
+                    transport: "Transport | str | None" = None,
                     **kwargs) -> Executor:
-    """Instantiate a backend by name (``serial``/``threads``/``processes``)."""
+    """Instantiate a backend by name (``serial``/``threads``/``processes``).
+
+    ``transport`` names (or supplies) the data plane; ``None`` defers to
+    ``REPRO_TRANSPORT`` at first use.
+    """
     try:
         cls = _BACKENDS[backend]
     except KeyError:
@@ -203,11 +250,12 @@ def create_executor(backend: str, max_workers: int | None = None,
             f"unknown runtime backend {backend!r}; "
             f"choose from {tuple(_BACKENDS)}") from None
     if cls is SerialExecutor:
-        return cls(max_workers)
-    return cls(max_workers, **kwargs)
+        return cls(max_workers, transport=transport)
+    return cls(max_workers, transport=transport, **kwargs)
 
 
-def executor_for(cluster) -> Executor:
+def executor_for(cluster,
+                 transport: "Transport | str | None" = None) -> Executor:
     """Executor matching a :class:`repro.distributed.Cluster`'s hint.
 
     The pool size is the cluster's worker count capped at the CPUs the
@@ -216,4 +264,5 @@ def executor_for(cluster) -> Executor:
     workers = cluster.num_workers
     if cluster.runtime == "processes":
         workers = min(workers, available_parallelism())
-    return create_executor(cluster.runtime, max_workers=workers)
+    return create_executor(cluster.runtime, max_workers=workers,
+                           transport=transport)

@@ -14,16 +14,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
-from ..distributed.hcube import HCubeShuffleResult
+from ..data.database import Database
+from ..distributed.hcube import HCubeRouting, HCubeShuffleResult
 from ..errors import BudgetExceeded, WorkerCrashed
 from .executor import Executor
 from .telemetry import RuntimeTelemetry
+from .transport import PickleTransport, Transport
 from .worker import WorkerTask, WorkerTaskResult, execute_worker_task
 
-__all__ = ["MergedOutcome", "build_worker_tasks", "merge_task_results",
-           "run_worker_tasks"]
+__all__ = ["MergedOutcome", "build_worker_tasks", "build_routed_tasks",
+           "merge_task_results", "run_worker_tasks"]
 
 
 @dataclass
@@ -34,6 +36,8 @@ class MergedOutcome:
     level_tuples: list[int] = field(default_factory=list)
     total_work: int = 0
     worker_work: dict[int, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
     tasks: int = 0
 
 
@@ -60,6 +64,47 @@ def build_worker_tasks(shuffle: HCubeShuffleResult,
             tasks[worker] = task
         task.cubes.append(tuple(
             cube_db[atom.relation].data for atom in local_query.atoms))
+    return [tasks[w] for w in sorted(tasks)]
+
+
+def build_routed_tasks(routing: HCubeRouting, db: Database,
+                       order: Sequence[str],
+                       budget: int | None = None,
+                       transport: Transport | None = None,
+                       cache_capacity: Callable[[int], int] | None = None
+                       ) -> list[WorkerTask]:
+    """Worker tasks from routing assignments, payloads via ``transport``.
+
+    Each source relation is published exactly once; tasks carry one
+    :class:`~repro.runtime.transport.ArrayRef` per (atom, cube) instead
+    of a materialized partition matrix, so partitioning happens on the
+    worker that owns the cube.  ``cache_capacity(worker_load)`` sizes an
+    optional worker-local intersection cache (HCubeJ+Cache).
+    """
+    transport = transport or PickleTransport()
+    grid = routing.grid
+    query = grid.query
+    local_query = routing.local_query
+    order = tuple(order)
+    keys = [transport.publish(f"rel:{atom.relation}",
+                              db[atom.relation].data)
+            for atom in query.atoms]
+    tasks: dict[int, WorkerTask] = {}
+    for cube in range(grid.num_cubes):
+        worker = grid.worker_of_cube(cube)
+        task = tasks.get(worker)
+        if task is None:
+            capacity = None
+            if cache_capacity is not None:
+                capacity = int(cache_capacity(
+                    routing.worker_loads.get(worker, 0)))
+            task = WorkerTask(worker=worker, query=local_query,
+                              order=order, budget=budget,
+                              cache_capacity=capacity)
+            tasks[worker] = task
+        task.cubes.append(tuple(
+            transport.make_ref(keys[ai], routing.atom_rows[ai][cube])
+            for ai in range(len(query.atoms))))
     return [tasks[w] for w in sorted(tasks)]
 
 
@@ -93,6 +138,8 @@ def merge_task_results(results: Sequence[WorkerTaskResult],
             raise WorkerCrashed(res.worker, reason)
         merged.count += res.count
         merged.total_work += res.intersection_work
+        merged.cache_hits += res.cache_hits
+        merged.cache_misses += res.cache_misses
         merged.worker_work[res.worker] = \
             merged.worker_work.get(res.worker, 0.0) + res.intersection_work
         for d in range(min(num_levels, len(res.level_tuples))):

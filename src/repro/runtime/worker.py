@@ -7,6 +7,12 @@ reference.  Keep task functions at module scope (no closures, no lambdas,
 no bound methods) — that is the spawn-safety rule documented in
 docs/runtime.md.
 
+Task payload arrays arrive either as plain ``int64`` matrices (the
+pickle data plane) or as :class:`repro.runtime.transport.ArrayRef`
+descriptors (the shared-memory data plane); every task function resolves
+them through :func:`repro.runtime.transport.resolve_array_ref`, so the
+worker-side code is transport-agnostic.
+
 A task deliberately never raises across the process boundary.  The two
 modelled failure modes are encoded in the returned
 :class:`WorkerTaskResult` (``failure="budget"``) or detected before tasks
@@ -28,9 +34,13 @@ from ..data.database import Database
 from ..data.relation import Relation
 from ..errors import BudgetExceeded
 from ..query.query import JoinQuery
+from ..wcoj.cache import IntersectionCache
 from ..wcoj.leapfrog import LeapfrogStats, build_tries, leapfrog_join
+from .transport import resolve_array_ref
 
 __all__ = ["WorkerTask", "WorkerTaskResult", "execute_worker_task",
+           "BagTask", "BagTaskResult", "materialize_bag_task",
+           "PartitionJoinTask", "join_partition_pair_task",
            "join_partition_task"]
 
 
@@ -38,21 +48,31 @@ __all__ = ["WorkerTask", "WorkerTaskResult", "execute_worker_task",
 class WorkerTask:
     """One worker's share of a one-round plan: its cubes, ready to run.
 
-    ``cubes`` holds, per owned hypercube, one numpy column batch per atom
-    of the (localized) query — the exact partitions an HCube shuffle
-    routed to this worker.  Arrays are plain ``int64`` matrices, so the
-    payload pickles compactly for process backends.
+    ``cubes`` holds, per owned hypercube, one entry per atom of the
+    (localized) query: either a plain numpy column batch (pickle data
+    plane) or an :class:`~repro.runtime.transport.ArrayRef` descriptor
+    the worker resolves locally (shared-memory data plane).
+
+    ``cache_capacity`` (values) builds a fresh per-cube
+    :class:`~repro.wcoj.cache.IntersectionCache` on the worker — caches
+    are worker-local state and never cross the process boundary.
     """
 
     worker: int
     query: JoinQuery                      # localized query (unique names)
     order: tuple[str, ...]
-    cubes: list[tuple[np.ndarray, ...]] = field(default_factory=list)
+    cubes: list[tuple] = field(default_factory=list)
     budget: int | None = None             # intersection-work cap (total)
+    cache_capacity: int | None = None     # per-cube intersection cache
 
     @property
     def num_tuples(self) -> int:
-        return sum(int(a.shape[0]) for cube in self.cubes for a in cube)
+        total = 0
+        for cube in self.cubes:
+            for a in cube:
+                total += int(a.shape[0]) if isinstance(a, np.ndarray) \
+                    else a.num_rows
+        return total
 
 
 @dataclass
@@ -64,6 +84,8 @@ class WorkerTaskResult:
     level_tuples: list[int] = field(default_factory=list)
     intersection_work: int = 0
     cubes_run: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     build_seconds: float = 0.0
     join_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -86,7 +108,8 @@ def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
                               level_tuples=[0] * len(task.order))
     try:
         atoms = task.query.atoms
-        for arrays in task.cubes:
+        for refs in task.cubes:
+            arrays = tuple(resolve_array_ref(r) for r in refs)
             db = Database(
                 Relation(atom.relation, atom.attributes, arr, dedup=False)
                 for atom, arr in zip(atoms, arrays))
@@ -96,14 +119,20 @@ def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
                 if remaining <= 0:
                     raise BudgetExceeded(result.intersection_work,
                                          task.budget)
+            cache = None
+            if task.cache_capacity is not None:
+                cache = IntersectionCache(task.cache_capacity)
             t0 = time.perf_counter()
-            tries = build_tries(task.query, db, task.order)
+            # With a cache, leapfrog builds its own tries (mirrors the
+            # inline cached path exactly, so hit/miss counts match).
+            tries = None if cache is not None \
+                else build_tries(task.query, db, task.order)
             t1 = time.perf_counter()
             stats = LeapfrogStats()
             try:
                 join = leapfrog_join(task.query, db, task.order,
-                                     tries=tries, budget=remaining,
-                                     stats=stats)
+                                     tries=tries, cache=cache,
+                                     budget=remaining, stats=stats)
             finally:
                 # Partial work still counts toward the budget on failure.
                 result.intersection_work += stats.intersection_work
@@ -112,6 +141,9 @@ def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
                         result.level_tuples[d] += stats.level_tuples[d]
                 result.build_seconds += t1 - t0
                 result.join_seconds += time.perf_counter() - t1
+                if cache is not None:
+                    result.cache_hits += cache.hits
+                    result.cache_misses += cache.misses
             result.count += join.count
             result.cubes_run += 1
     except BudgetExceeded as exc:
@@ -127,12 +159,99 @@ def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
     return result
 
 
-def join_partition_task(pair: tuple[Relation, Relation]) -> Relation:
-    """Natural-join one co-partitioned (left, right) pair.
+@dataclass
+class BagTask:
+    """Materialize one GHD bag worst-case-optimally (Yannakakis phase 1).
 
-    Used by the SparkSQL-style engine: both sides were hash-partitioned
-    on their shared attributes, so partition outputs are disjoint and the
-    coordinator may concatenate them without re-deduplication.
+    ``arrays`` holds one entry per atom of ``query`` — a plain array or a
+    transport descriptor of the *whole* source relation (bags never
+    pre-partition their inputs; under shm the broadcast is zero-copy).
+    """
+
+    index: int
+    query: JoinQuery
+    order: tuple[str, ...]
+    arrays: tuple = ()
+    budget: int | None = None
+
+
+@dataclass
+class BagTaskResult:
+    """One materialized bag (or how its task failed)."""
+
+    index: int
+    attrs: tuple[str, ...] = ()
+    data: np.ndarray | None = None
+    work: int = 0
+    total_seconds: float = 0.0
+    failure: str | None = None            # None | "budget" | "crash"
+    failure_info: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def materialize_bag_task(task: BagTask) -> BagTaskResult:
+    """Worst-case-optimally join one bag's atoms (top-level, spawn-safe)."""
+    start = time.perf_counter()
+    result = BagTaskResult(index=task.index, attrs=tuple(task.order))
+    try:
+        relations: dict[str, Relation] = {}
+        for atom, ref in zip(task.query.atoms, task.arrays):
+            if atom.relation not in relations:
+                relations[atom.relation] = Relation(
+                    atom.relation, atom.attributes,
+                    resolve_array_ref(ref), dedup=False)
+        db = Database(relations.values())
+        res = leapfrog_join(task.query, db, order=task.order,
+                            materialize=True, budget=task.budget)
+        result.data = res.relation.data
+        result.work = res.stats.intersection_work
+    except BudgetExceeded as exc:
+        result.failure = "budget"
+        result.failure_info = (int(exc.work_done), int(exc.budget))
+    except Exception as exc:
+        result.failure = "crash"
+        result.failure_info = (
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(limit=5),
+        )
+    result.total_seconds = time.perf_counter() - start
+    return result
+
+
+@dataclass
+class PartitionJoinTask:
+    """One co-partitioned (left, right) pair of a SparkSQL-style step."""
+
+    left: object                           # ndarray | ArrayRef
+    left_attrs: tuple[str, ...]
+    left_name: str
+    right: object
+    right_attrs: tuple[str, ...]
+    right_name: str
+
+
+def join_partition_pair_task(task: PartitionJoinTask) -> Relation:
+    """Natural-join one co-partitioned pair shipped as descriptors.
+
+    Both sides were hash-partitioned on their shared attributes, so
+    partition outputs are disjoint and the coordinator may concatenate
+    them without re-deduplication.
+    """
+    left = Relation(task.left_name, task.left_attrs,
+                    resolve_array_ref(task.left), dedup=False)
+    right = Relation(task.right_name, task.right_attrs,
+                     resolve_array_ref(task.right), dedup=False)
+    return left.natural_join(right)
+
+
+def join_partition_task(pair: tuple[Relation, Relation]) -> Relation:
+    """Natural-join one co-partitioned (left, right) pair of Relations.
+
+    Legacy entry point predating the transport data plane; kept for
+    callers that already hold materialized partitions.
     """
     left, right = pair
     return left.natural_join(right)

@@ -242,6 +242,29 @@ class TestHCubeShuffle:
                        for a in q.atoms)
         assert res.stats.tuple_copies == expected
 
+    def test_bytes_copied_sums_per_atom_arity(self):
+        """Regression: ``bytes_copied`` accumulates per atom at that
+        atom's arity (it used to be overwritten with the *last* atom's
+        arity applied to all copies, misaccounting mixed-arity queries).
+        """
+        from repro.query.query import Atom, JoinQuery
+        q = JoinQuery([Atom("R", ("a", "b")), Atom("S", ("b",))],
+                      name="mixed")
+        rng = np.random.default_rng(8)
+        db = Database([
+            Relation("R", ("x", "y"), rng.integers(0, 10, size=(40, 2))),
+            Relation("S", ("x",), rng.integers(0, 10, size=(25, 1))),
+        ])
+        grid = HypercubeGrid(q, {"a": 2, "b": 2}, 4)
+        res = hcube_shuffle(q, db, grid, impl="push")
+        # Push routes each atom's tuples to every matching cube, so the
+        # per-atom copy counts are the dup-factor products.
+        shares = {"a": 2, "b": 2}
+        copies_r = len(db["R"]) * dup_factor(("a", "b"), shares)
+        copies_s = len(db["S"]) * dup_factor(("b",), shares)
+        assert res.stats.tuple_copies == copies_r + copies_s
+        assert res.stats.bytes_copied == copies_r * 2 * 8 + copies_s * 1 * 8
+
     def test_pull_not_more_than_push(self):
         q, db = triangle_case(seed=5)
         grid = HypercubeGrid(q, {"a": 2, "b": 2, "c": 2}, 4)

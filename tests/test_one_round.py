@@ -81,20 +81,19 @@ class TestOneRoundExecute:
                                    tight.new_ledger(), impl="merge")
         assert merged.count == out.count
 
-    def test_cache_factory_used(self):
+    def test_cache_capacity_used(self):
         q, db = tri_case(seed=6)
         cluster = Cluster(num_workers=2)
-        made = []
+        asked = []
 
-        def factory(load):
-            cache = IntersectionCache(100_000)
-            made.append(cache)
-            return cache
+        def capacity(load):
+            asked.append(load)
+            return 100_000
 
         out = one_round_execute(q, db, cluster, q.attributes,
                                 cluster.new_ledger(),
-                                cache_factory=factory)
-        assert made
+                                cache_capacity=capacity)
+        assert asked
         assert out.cache_hits + out.cache_misses > 0
 
     def test_worker_work_reported(self):

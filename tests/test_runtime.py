@@ -18,6 +18,7 @@ from repro.engines import (
     HCubeJ,
     HCubeJCache,
     SparkSQLJoin,
+    YannakakisJoin,
     run_engine_safely,
 )
 from repro.errors import BudgetExceeded, ConfigError, WorkerCrashed
@@ -39,6 +40,7 @@ from repro.runtime import (
 from repro.wcoj import leapfrog_join
 
 BACKENDS = ("serial", "threads", "processes")
+TRANSPORTS = ("pickle", "shm")
 
 
 def graph_case(query_name, seed=0, n=300, dom=40):
@@ -260,6 +262,88 @@ class TestEngineBackends:
             result = run_engine_safely(HCubeJ(work_budget=3), query, db,
                                        cluster, executor=ex)
         assert result.failure == "budget"
+
+    @pytest.mark.parametrize("query_name", ["Q1", "Q9"])
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_all_engines_agree_across_transports(self, query_name,
+                                                 transport):
+        """Counts and modeled costs are transport-independent (all six
+        engines, triangle and 4-cycle)."""
+        query, db = graph_case(query_name, seed=11, n=200, dom=30)
+        truth = leapfrog_join(query, db).count
+        cluster = Cluster(num_workers=3)
+        inline_totals = {}
+        for engine in (HCubeJ(), HCubeJCache(), BigJoin(), SparkSQLJoin(),
+                       YannakakisJoin(), ADJ(num_samples=15)):
+            inline = run_engine_safely(engine, query, db, cluster)
+            inline_totals[engine.name] = inline.breakdown.total
+            assert inline.count == truth
+        with create_executor("serial", 3, transport=transport) as ex:
+            for engine in (HCubeJ(), HCubeJCache(), BigJoin(),
+                           SparkSQLJoin(), YannakakisJoin(),
+                           ADJ(num_samples=15)):
+                result = run_engine_safely(engine, query, db, cluster,
+                                           executor=ex)
+                assert result.ok, (engine.name, transport, result.failure)
+                assert result.count == truth, (engine.name, transport)
+                assert result.breakdown.total == pytest.approx(
+                    inline_totals[engine.name]), (engine.name, transport)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_yannakakis_and_cache_run_end_to_end(self, backend):
+        """The two formerly coordinator-only engines now use the
+        executor; counts are identical on every backend."""
+        query, db = graph_case("Q9", seed=12, n=200, dom=30)
+        truth = leapfrog_join(query, db).count
+        cluster = Cluster(num_workers=3)
+        with create_executor(backend, 3, transport="shm") as ex:
+            for engine in (YannakakisJoin(), HCubeJCache()):
+                result = run_engine_safely(engine, query, db, cluster,
+                                           executor=ex)
+                assert result.ok, (engine.name, backend, result.failure)
+                assert result.count == truth, (engine.name, backend)
+                assert result.telemetry is not None
+                # Physical movement is reported and worker attribution
+                # stays within the cluster even with more tasks/bags.
+                plane = result.extra["data_plane"]
+                assert plane["transport"] == "shm"
+                assert plane["shipped_bytes"] > 0
+                assert all(0 <= w < 3 for w in
+                           result.telemetry.worker_seconds)
+
+    def test_cache_hit_stats_match_inline(self):
+        """Worker-local caches reproduce the inline hit/miss counters."""
+        query, db = graph_case("Q1", seed=13)
+        cluster = Cluster(num_workers=2)
+        inline = HCubeJCache().run(query, db, cluster)
+        with create_executor("serial", 2, transport="shm") as ex:
+            routed = HCubeJCache().run(query, db, cluster, executor=ex)
+        assert routed.count == inline.count
+        assert routed.extra["cache_hits"] == inline.extra["cache_hits"]
+        assert routed.extra["cache_misses"] == \
+            inline.extra["cache_misses"]
+        assert inline.extra["cache_hits"] + \
+            inline.extra["cache_misses"] > 0
+
+    def test_shm_ships_fewer_coordinator_bytes(self):
+        """Regression: under shm, the data plane's ``bytes_copied`` is
+        descriptor bytes (rows + header), not full array bytes."""
+        query, db = graph_case("Q1", seed=14)
+        cluster = Cluster(num_workers=3)
+        planes = {}
+        for transport in TRANSPORTS:
+            with create_executor("serial", 3, transport=transport) as ex:
+                result = HCubeJ().run(query, db, cluster, executor=ex)
+            planes[transport] = result.extra["data_plane"]
+        assert planes["shm"]["transport"] == "shm"
+        assert planes["shm"]["shipped_refs"] == \
+            planes["pickle"]["shipped_refs"]
+        assert 0 < planes["shm"]["shipped_bytes"] < \
+            planes["pickle"]["shipped_bytes"]
+        # Sources are staged once under shm, never under pickle.
+        assert planes["pickle"]["published_bytes"] == 0
+        assert planes["shm"]["published_bytes"] == sum(
+            db[a.relation].nbytes for a in query.atoms)
 
     def test_crashed_worker_is_clean_engine_failure(self, monkeypatch):
         """A worker that dies mid-run must yield failure='crash'."""
