@@ -12,42 +12,18 @@ HCube (Q1-Q3) and co-optimization (Q4-Q6).  Failures render as '>BUDGET'
 import pytest
 
 from repro.data import dataset_names
-from repro.engines import (
-    ADJ,
-    BigJoin,
-    HCubeJ,
-    HCubeJCache,
-    SparkSQLJoin,
-    run_engine_safely,
-)
+from repro.engines import run_engine_safely
 
 from .common import (
     BENCH_MEMORY,
-    BENCH_SAMPLES,
-    WORK_BUDGET,
     bench_cluster,
+    engine_lineup,
     fmt_seconds,
     fmt_table,
+    lineup_headers,
     load_case,
     report,
 )
-
-#: Budgets relative to the test-case's total input tuples — the analogue
-#: of the paper's fixed 12-hour wall, which allows an (input-relative)
-#: bounded amount of intermediate materialization for every method.
-SPARKSQL_INPUT_FACTOR = 10
-BIGJOIN_INPUT_FACTOR = 8
-
-
-def engine_lineup(total_input: int):
-    return [
-        SparkSQLJoin(budget_tuples=SPARKSQL_INPUT_FACTOR * total_input),
-        BigJoin(budget_bindings=BIGJOIN_INPUT_FACTOR * total_input,
-                work_budget=WORK_BUDGET),
-        HCubeJ(work_budget=WORK_BUDGET),
-        HCubeJCache(work_budget=WORK_BUDGET),
-        ADJ(num_samples=BENCH_SAMPLES, work_budget=WORK_BUDGET),
-    ]
 
 
 def _compare(cases):
@@ -71,8 +47,7 @@ def _compare(cases):
     return rows
 
 
-HEADERS = ["test-case", "SparkSQL", "BigJoin", "HCubeJ", "HCubeJ+Cache",
-           "ADJ"]
+HEADERS = ["test-case", *lineup_headers()]
 
 
 @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3"])

@@ -17,6 +17,7 @@ import os
 from pathlib import Path
 
 from repro.distributed import Cluster
+from repro.engines import EngineOptions, registry
 from repro.workloads import make_testcase
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -48,10 +49,58 @@ BENCH_MEMORY = int(float(os.environ.get(
     "REPRO_BENCH_MEMORY", str(16_000 * BENCH_SCALE / 1.2e-5))))
 
 
+#: Budgets relative to a test-case's total input tuples — the analogue
+#: of the paper's fixed 12-hour wall, which allows an (input-relative)
+#: bounded amount of intermediate materialization for every method.
+SPARKSQL_INPUT_FACTOR = 10
+BIGJOIN_INPUT_FACTOR = 8
+
+#: The Fig. 12 headline lineup (the paper's five methods, in order).
+FIG12_ENGINES = ("sparksql", "bigjoin", "hcubej", "hcubej-cache", "adj")
+
+
 def bench_cluster(workers: int | None = None,
                   memory_tuples: float | None = None) -> Cluster:
     return Cluster(num_workers=workers or BENCH_WORKERS,
                    memory_tuples_per_worker=memory_tuples)
+
+
+def bench_options(total_input: int | None = None,
+                  **overrides) -> EngineOptions:
+    """Bench-calibrated engine options.
+
+    With ``total_input`` the multi-round budgets scale with the input
+    (the Fig. 12 convention); otherwise the absolute env-var budgets
+    apply.  ``overrides`` are EngineOptions field names.
+    """
+    opts = EngineOptions(
+        samples=BENCH_SAMPLES,
+        work_budget=WORK_BUDGET,
+        budget_tuples=(SPARKSQL_INPUT_FACTOR * total_input
+                       if total_input else SPARKSQL_BUDGET),
+        budget_bindings=(BIGJOIN_INPUT_FACTOR * total_input
+                         if total_input else BIGJOIN_BUDGET))
+    return opts.merged_with(**overrides) if overrides else opts
+
+
+def engine_lineup(total_input: int | None = None,
+                  names=FIG12_ENGINES,
+                  options: EngineOptions | None = None) -> list:
+    """Registry-built engines for a bench run (one source of truth).
+
+    Every engine receives the same :class:`EngineOptions`; each picks
+    only the fields it declares, so the lineup stays consistent as
+    engines are added to the registry.
+    """
+    opts = bench_options(total_input)
+    if options is not None:
+        opts = opts.merged_with(options)
+    return [registry.create(name, opts) for name in names]
+
+
+def lineup_headers(names=FIG12_ENGINES) -> list[str]:
+    """Human-facing engine names for table headers, from the registry."""
+    return [registry.display_name(name) for name in names]
 
 
 @functools.lru_cache(maxsize=64)

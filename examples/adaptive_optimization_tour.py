@@ -13,10 +13,9 @@ trace, and the final co-optimized execution.
 
 import numpy as np
 
+from repro import JoinSession
 from repro.core import CardinalityEstimator, Optimizer
 from repro.data import Database, Relation, generate_power_law_edges
-from repro.distributed import Cluster
-from repro.engines import ADJ
 from repro.ghd import optimal_hypertree
 from repro.query import Hypergraph, example_query
 from repro.wcoj import leapfrog_join
@@ -61,28 +60,36 @@ def main() -> None:
           f"{math.factorial(query.num_attributes)} permutations")
 
     # -- Sec. III-B: Algorithm 2 ------------------------------------------
-    cluster = Cluster(num_workers=8)
-    estimator = CardinalityEstimator(db, num_samples=100, seed=0)
-    report = Optimizer(query, db, cluster, hypertree=tree,
-                       estimator=estimator).run()
-    print(f"\nAlgorithm 2 explored {report.explored_configurations} "
-          "configurations; decision trace (reverse traversal order):")
-    for v, pre, cost in report.cost_trace:
-        choice = "PRE-COMPUTE" if pre else "keep raw"
-        print(f"  bag v{v}: {choice:12s} (estimated cost "
-              f"{cost:.4f} model-s)")
-    plan = report.plan
-    print("chosen plan:", plan.describe())
-    print("rewritten query:", plan.rewritten_query())
+    with JoinSession(workers=8, samples=100, seed=0) as session:
+        cluster = session.cluster
+        estimator = CardinalityEstimator(db, num_samples=100, seed=0)
+        report = Optimizer(query, db, cluster, hypertree=tree,
+                           estimator=estimator).run()
+        print(f"\nAlgorithm 2 explored {report.explored_configurations} "
+              "configurations; decision trace (reverse traversal order):")
+        for v, pre, cost in report.cost_trace:
+            choice = "PRE-COMPUTE" if pre else "keep raw"
+            print(f"  bag v{v}: {choice:12s} (estimated cost "
+                  f"{cost:.4f} model-s)")
+        plan = report.plan
+        print("chosen plan:", plan.describe())
+        print("rewritten query:", plan.rewritten_query())
 
-    # -- execute and verify -------------------------------------------------
-    result = ADJ(num_samples=100, seed=0).run(query, db, cluster)
-    expected = leapfrog_join(query, db).count
-    assert result.count == expected
-    print(f"\nresult count: {result.count} (verified against plain "
-          "Leapfrog)")
-    print("cost breakdown:", {k: round(v, 4)
-                              for k, v in result.breakdown.as_row().items()})
+        # -- the same plan, through the lazy job API -----------------------
+        job = session.query_from(query, db)
+        explain = job.explain(hypertree=tree)
+        print("job.explain modeled cost:",
+              {k: round(v, 4) for k, v in explain.cost_breakdown.items()})
+
+        # -- execute and verify --------------------------------------------
+        result = job.run("adj")
+        expected = leapfrog_join(query, db).count
+        assert result.count == expected
+        print(f"\nresult count: {result.count} (verified against plain "
+              "Leapfrog)")
+        print("cost breakdown:",
+              {k: round(v, 4)
+               for k, v in result.breakdown.as_row().items()})
 
 
 if __name__ == "__main__":

@@ -9,11 +9,8 @@ distributed sampling procedure.
 
 import time
 
-from repro.core import (
-    CardinalityEstimator,
-    DistributedSampler,
-    required_samples,
-)
+from repro import JoinSession
+from repro.core import DistributedSampler, required_samples
 from repro.data import generate_power_law_edges
 from repro.query import paper_query
 from repro.wcoj import leapfrog_join
@@ -35,16 +32,21 @@ def main() -> None:
               f"k = {required_samples(p, delta)}")
 
     # -- accuracy vs budget --------------------------------------------------
+    # QueryJob.estimate is pure sampler work: the session never creates
+    # an executor for it.
     print(f"\n{'samples':>8} {'estimate':>12} {'D':>7} {'time(s)':>8}")
-    for k in (5, 20, 80, 400):
-        t0 = time.perf_counter()
-        est = CardinalityEstimator(db, num_samples=k, seed=1).estimate(query)
-        elapsed = time.perf_counter() - t0
-        hi = max(est.estimate, float(true), 1.0)
-        lo = max(1.0, min(est.estimate, float(true)))
-        tag = " (exact)" if est.exact else ""
-        print(f"{k:>8} {est.estimate:>12.0f} {hi / lo:>7.3f} "
-              f"{elapsed:>8.3f}{tag}")
+    with JoinSession(workers=4, seed=1) as session:
+        job = session.query_from(query, db)
+        for k in (5, 20, 80, 400):
+            t0 = time.perf_counter()
+            est = job.estimate(samples=k)
+            elapsed = time.perf_counter() - t0
+            hi = max(est.estimate, float(true), 1.0)
+            lo = max(1.0, min(est.estimate, float(true)))
+            tag = " (exact)" if est.exact else ""
+            print(f"{k:>8} {est.estimate:>12.0f} {hi / lo:>7.3f} "
+                  f"{elapsed:>8.3f}{tag}")
+        assert not session.executor_created
 
     # -- distributed sampling: the semijoin reduction -------------------------
     report = DistributedSampler(db, num_samples=100, seed=1).sample(query)

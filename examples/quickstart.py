@@ -4,12 +4,13 @@ Run with:  python examples/quickstart.py
 
 Builds a small social-network-style graph, poses the paper's Q5 (a
 5-cycle with two chords — a "house" pattern with a diagonal), and lets
-ADJ co-optimize pre-computing, communication and computation.
+ADJ co-optimize pre-computing, communication and computation — all
+through the :class:`repro.JoinSession` front door, which owns cluster,
+executor and transport lifecycle.
 """
 
-from repro.data import Database, Relation, generate_power_law_edges
-from repro.distributed import Cluster
-from repro.engines import ADJ, HCubeJ
+from repro import JoinSession
+from repro.data import generate_power_law_edges
 from repro.query import paper_query
 from repro.workloads import graph_database_for
 
@@ -27,25 +28,26 @@ def main() -> None:
     # 3. A database: one relation copy per atom (Sec. VII-A convention).
     db = graph_database_for(query, edges)
 
-    # 4. A simulated cluster: 8 workers, paper-style cost model.
-    cluster = Cluster(num_workers=8)
+    # 4. A session: 8 simulated workers, paper-style cost model.  The
+    #    session tears everything down when the `with` block ends.
+    with JoinSession(workers=8, samples=100, seed=0) as session:
+        job = session.query_from(query, db)
 
-    # 5. Run ADJ - it samples, optimizes, pre-computes and joins.
-    engine = ADJ(num_samples=100, seed=0)
-    result = engine.run(query, db, cluster)
+        # 5. Run ADJ - it samples, optimizes, pre-computes and joins.
+        result = job.run("adj")
 
-    print(f"\nADJ found {result.count} embeddings of Q5")
-    print(f"chosen plan: {result.extra['plan']}")
-    print(f"pre-computed: {result.extra['precomputed'] or '(nothing)'}")
-    print("cost breakdown (model-seconds):")
-    for phase, seconds in result.breakdown.as_row().items():
-        print(f"  {phase:>14}: {seconds:8.4f}")
+        print(f"\nADJ found {result.count} embeddings of Q5")
+        print(f"chosen plan: {result.extra['plan']}")
+        print(f"pre-computed: {result.extra['precomputed'] or '(nothing)'}")
+        print("cost breakdown (model-seconds):")
+        for phase, seconds in result.breakdown.as_row().items():
+            print(f"  {phase:>14}: {seconds:8.4f}")
 
-    # 6. Compare with the communication-first baseline.
-    baseline = HCubeJ().run(query, db, cluster)
-    assert baseline.count == result.count
-    print(f"\nHCubeJ (comm-first) total: {baseline.total_seconds:8.4f}")
-    print(f"ADJ    (co-opt)     total: {result.total_seconds:8.4f}")
+        # 6. Compare with the communication-first baseline.
+        baseline = job.run("hcubej")
+        assert baseline.count == result.count
+        print(f"\nHCubeJ (comm-first) total: {baseline.total_seconds:8.4f}")
+        print(f"ADJ    (co-opt)     total: {result.total_seconds:8.4f}")
 
 
 if __name__ == "__main__":

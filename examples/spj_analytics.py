@@ -13,9 +13,9 @@ a-b-c exists with all three vertices among the first 64 node ids (the
 hubs of the power-law analogue — low ids have the highest degrees).
 """
 
+from repro import JoinSession
 from repro.data import generate_power_law_edges
-from repro.distributed import Cluster
-from repro.engines import ADJ
+from repro.engines import registry
 from repro.query import Predicate, SPJQuery, evaluate_spj, triangle_query
 from repro.wcoj import leapfrog_join
 from repro.workloads import graph_database_for
@@ -46,8 +46,12 @@ def main() -> None:
     print(f"selection pushdown: {before} -> {after} tuples "
           f"({1 - after / before:.0%} never shuffled)")
 
-    result = evaluate_spj(spj, db, engine=ADJ(num_samples=50),
-                          cluster=Cluster(num_workers=4))
+    # The engine comes from the registry; the session supplies the
+    # cluster (4 workers) without any manual lifecycle code.
+    with JoinSession(workers=4) as session:
+        result = evaluate_spj(spj, db,
+                              engine=registry.create("adj", samples=50),
+                              cluster=session.cluster)
     print(f"distinct hub pairs: {len(result)}")
 
     # Cross-check against filtering the full join after the fact.

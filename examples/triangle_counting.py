@@ -1,22 +1,16 @@
-"""Distributed triangle counting: all five engines on one graph.
+"""Distributed triangle counting: every registered engine on one graph.
 
 Run with:  python examples/triangle_counting.py
 
 Triangle counting (Q1) is the entry-level complex join: cyclic, so
 binary-join engines shuffle an edge-squared intermediate, while
-worst-case optimal engines touch far less data.
+worst-case optimal engines touch far less data.  One
+``session.query_from(...).compare()`` call runs the whole registry
+lineup and cross-checks the counts.
 """
 
+from repro import JoinSession
 from repro.data import generate_power_law_edges
-from repro.distributed import Cluster
-from repro.engines import (
-    ADJ,
-    BigJoin,
-    HCubeJ,
-    HCubeJCache,
-    SparkSQLJoin,
-    run_engine_safely,
-)
 from repro.query import triangle_query
 from repro.wcoj import agm_bound
 from repro.workloads import graph_database_for
@@ -26,30 +20,22 @@ def main() -> None:
     edges = generate_power_law_edges(4000, seed=7)
     query = triangle_query()
     db = graph_database_for(query, edges)
-    cluster = Cluster(num_workers=8)
 
     print(f"graph: {edges.shape[0]} edges")
     print(f"AGM worst-case bound: {agm_bound(query, db):.0f} triangles\n")
 
-    engines = [
-        SparkSQLJoin(),
-        BigJoin(),
-        HCubeJ(),
-        HCubeJCache(),
-        ADJ(num_samples=50),
-    ]
+    with JoinSession(workers=8, samples=50) as session:
+        print(f"engines: {', '.join(session.engines())}\n")
+        report = session.query_from(query, db).compare()
+
     print(f"{'engine':14} {'triangles':>10} {'shuffled':>10} "
           f"{'total(s)':>10} {'rounds':>7}")
-    counts = set()
-    for engine in engines:
-        r = run_engine_safely(engine, query, db, cluster)
+    for r in report.results:
         status = f"{r.count}" if r.ok else r.failure
-        print(f"{engine.name:14} {status:>10} {r.shuffled_tuples:>10} "
+        print(f"{r.engine:14} {status:>10} {r.shuffled_tuples:>10} "
               f"{r.total_seconds:>10.4f} {r.rounds:>7}")
-        if r.ok:
-            counts.add(r.count)
-    assert len(counts) == 1, "engines disagree!"
-    print(f"\nall engines agree: {counts.pop()} triangles")
+    assert report.agreed, "engines disagree!"
+    print(f"\nall engines agree: {report.count} triangles")
 
 
 if __name__ == "__main__":

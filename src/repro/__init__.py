@@ -2,17 +2,36 @@
 
 Public API highlights
 ---------------------
+- :mod:`repro.api` — the front door: :class:`JoinSession`, lazy
+  :class:`QueryJob`, typed :class:`RunConfig`/:class:`EngineOptions`.
+- :mod:`repro.engines` — the six distributed engines and their
+  string-keyed :mod:`registry <repro.engines.registry>`.
 - :mod:`repro.data` — relations, tries, databases, synthetic datasets.
 - :mod:`repro.query` — join queries, hypergraphs, the paper's Q1-Q11.
 - :mod:`repro.wcoj` — Leapfrog triejoin and sequential baselines.
 - :mod:`repro.ghd` — generalized hypertree decompositions.
 - :mod:`repro.distributed` — cluster simulator and HCube shuffles.
 - :mod:`repro.core` — the ADJ optimizer, cost model and sampler.
-- :mod:`repro.engines` — the five distributed engines compared in Sec. VII.
 - :mod:`repro.runtime` — real parallel execution backends and telemetry.
 - :mod:`repro.workloads` — paper test-case construction.
+
+Quickstart::
+
+    from repro import JoinSession
+
+    with JoinSession(workers=8) as session:
+        report = session.query("lj", "Q1").compare()
+        print(report.describe())
 """
 
+from .api import (
+    ComparisonReport,
+    EngineOptions,
+    ExplainReport,
+    JoinSession,
+    QueryJob,
+    RunConfig,
+)
 from .core import CardinalityEstimator, Optimizer, optimize_plan
 from .data import Database, Relation, Trie
 from .distributed import Cluster, CostModelParams
@@ -22,7 +41,8 @@ from .engines import (
     HCubeJ,
     HCubeJCache,
     SparkSQLJoin,
-    run_engine_safely,
+    YannakakisJoin,
+    registry,
 )
 from .ghd import optimal_hypertree
 from .query import Atom, JoinQuery, paper_query, parse_query
@@ -33,14 +53,32 @@ from .runtime import (
     SerialExecutor,
     ThreadExecutor,
     create_executor,
-    executor_for,
 )
 from .wcoj import agm_bound, leapfrog_join
 from .workloads import graph_database_for, make_testcase
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
+
+#: Pre-façade entry points kept as deprecation shims (repro.api.compat):
+#: accessing them from the package root warns but works unchanged.
+_DEPRECATED_SHIMS = ("run_engine_safely", "executor_for")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_SHIMS:
+        from .api import compat
+        return getattr(compat, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "JoinSession",
+    "QueryJob",
+    "ExplainReport",
+    "ComparisonReport",
+    "RunConfig",
+    "EngineOptions",
+    "registry",
     "CardinalityEstimator",
     "Optimizer",
     "optimize_plan",
@@ -54,6 +92,7 @@ __all__ = [
     "HCubeJ",
     "HCubeJCache",
     "SparkSQLJoin",
+    "YannakakisJoin",
     "run_engine_safely",
     "Executor",
     "SerialExecutor",

@@ -1,0 +1,30 @@
+"""repro.api — the stable front door (session, jobs, config, registry).
+
+Typical use::
+
+    from repro.api import JoinSession
+
+    with JoinSession(workers=8) as session:
+        report = session.query("lj", "Q5").compare()
+        assert report.agreed
+
+See docs/api.md for the full tour: session lifecycle, the engine
+registry, and configuration precedence (explicit > env > defaults).
+"""
+
+from ..engines import registry
+from ..engines.base import EngineOptions, EngineResult
+from .config import RunConfig
+from .job import ComparisonReport, ExplainReport, QueryJob
+from .session import JoinSession
+
+__all__ = [
+    "JoinSession",
+    "QueryJob",
+    "ExplainReport",
+    "ComparisonReport",
+    "RunConfig",
+    "EngineOptions",
+    "EngineResult",
+    "registry",
+]

@@ -1,0 +1,45 @@
+"""Deprecation shims for the pre-JoinSession top-level entry points.
+
+``repro.run_engine_safely`` and ``repro.executor_for`` predate the
+façade: callers assembled engine, cluster, executor and transport by
+hand and had to remember to ``close()`` the executor.  Both names keep
+working unchanged — same signatures, same behaviour — but accessing
+them from the package root now emits a :class:`DeprecationWarning`
+pointing at :class:`repro.api.JoinSession`.
+
+The un-deprecated originals live on at ``repro.engines.run_engine_safely``
+and ``repro.runtime.executor_for`` for library-internal plumbing and
+existing tests.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+from ..engines.base import run_engine_safely as _run_engine_safely
+from ..runtime.executor import executor_for as _executor_for
+
+__all__ = ["run_engine_safely", "executor_for"]
+
+
+def _deprecated(func, name: str, hint: str):
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"repro.{name} is deprecated; {hint}",
+            DeprecationWarning, stacklevel=2)
+        return func(*args, **kwargs)
+    return wrapper
+
+
+run_engine_safely = _deprecated(
+    _run_engine_safely, "run_engine_safely",
+    "use repro.JoinSession — session.query_from(query, db).run(engine) "
+    "owns the executor lifecycle for you (or import "
+    "repro.engines.run_engine_safely directly)")
+
+executor_for = _deprecated(
+    _executor_for, "executor_for",
+    "use repro.JoinSession, which creates and tears down the executor "
+    "(or import repro.runtime.executor_for directly)")

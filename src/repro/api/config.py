@@ -1,0 +1,151 @@
+"""Typed run configuration with environment-variable defaults.
+
+One :class:`RunConfig` answers every "how should this run?" question —
+worker count, runtime backend, data-plane transport, optimizer sampling,
+budgets, memory — that used to be scattered across per-engine kwargs,
+``Cluster`` fields and ``executor_for`` arguments.
+
+Precedence is **explicit argument > environment variable > built-in
+default**: every field's default factory reads its ``REPRO_*`` variable,
+so a value passed to ``RunConfig(...)`` (e.g. from a CLI flag) always
+wins, and an unset field falls back to the documented default.
+
+Environment variables::
+
+    REPRO_WORKERS      simulated worker count         (default 8)
+    REPRO_BACKEND      serial | threads | processes   (default serial)
+    REPRO_TRANSPORT    pickle | shm — resolved by the transport layer
+                       at executor creation, not here (an env-set
+                       transport alone does not force the runtime path)
+    REPRO_SAMPLES      optimizer sample budget        (default 100)
+    REPRO_SEED         sampling seed                  (default 0)
+    REPRO_SCALE        dataset scale — resolved by repro.data.datasets
+    REPRO_WORK_BUDGET  Leapfrog work budget           (default None)
+    REPRO_MEMORY_TUPLES per-worker memory budget      (default None)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+
+from ..distributed.cluster import RUNTIME_BACKENDS, Cluster, default_workers
+from ..engines.base import EngineOptions
+from ..errors import ConfigError
+
+__all__ = ["RunConfig", "EngineOptions", "default_backend",
+           "default_samples", "default_seed"]
+
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+SAMPLES_ENV_VAR = "REPRO_SAMPLES"
+SEED_ENV_VAR = "REPRO_SEED"
+WORK_BUDGET_ENV_VAR = "REPRO_WORK_BUDGET"
+MEMORY_ENV_VAR = "REPRO_MEMORY_TUPLES"
+
+_DEFAULT_SAMPLES = 100
+_DEFAULT_SEED = 0
+
+
+def _env_int(var: str, default: int | None, minimum: int | None = None
+             ) -> int | None:
+    raw = os.environ.get(var)
+    if raw is None:
+        return default
+    try:
+        value = int(float(raw))
+    except ValueError:
+        raise ConfigError(f"{var} must be a number, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{var} must be >= {minimum}, got {raw!r}")
+    return value
+
+
+def default_backend() -> str:
+    """Runtime backend, overridable through REPRO_BACKEND."""
+    raw = os.environ.get(BACKEND_ENV_VAR)
+    if raw is None:
+        return "serial"
+    if raw not in RUNTIME_BACKENDS:
+        raise ConfigError(
+            f"{BACKEND_ENV_VAR} must be one of {RUNTIME_BACKENDS}, "
+            f"got {raw!r}")
+    return raw
+
+
+def default_samples() -> int:
+    return _env_int(SAMPLES_ENV_VAR, _DEFAULT_SAMPLES, minimum=1)
+
+
+def default_seed() -> int:
+    return _env_int(SEED_ENV_VAR, _DEFAULT_SEED)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything a :class:`repro.api.JoinSession` needs to run queries."""
+
+    #: Simulated worker count (REPRO_WORKERS).
+    workers: int = field(default_factory=default_workers)
+    #: Runtime backend: serial | threads | processes (REPRO_BACKEND).
+    backend: str = field(default_factory=default_backend)
+    #: Data-plane transport name; None keeps the inline (simulated) path
+    #: on the serial backend and defers to REPRO_TRANSPORT when an
+    #: executor is created.  Setting it explicitly forces the runtime
+    #: path even on the serial backend, mirroring the CLI.
+    transport: str | None = None
+    #: Optimizer sample budget (REPRO_SAMPLES).
+    samples: int = field(default_factory=default_samples)
+    #: Sampling seed (REPRO_SEED).
+    seed: int = field(default_factory=default_seed)
+    #: Dataset scale for named test-cases; None defers to REPRO_SCALE /
+    #: the dataset default inside repro.data.datasets.
+    scale: float | None = None
+    #: Leapfrog work budget, the 12-hour-timeout analogue
+    #: (REPRO_WORK_BUDGET).
+    work_budget: int | None = field(
+        default_factory=lambda: _env_int(WORK_BUDGET_ENV_VAR, None,
+                                         minimum=1))
+    #: Per-worker memory budget in tuples; None disables OOM checking
+    #: (REPRO_MEMORY_TUPLES).
+    memory_tuples: float | None = field(
+        default_factory=lambda: _env_int(MEMORY_ENV_VAR, None, minimum=1))
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in RUNTIME_BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {RUNTIME_BACKENDS}")
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with ``changes`` applied (None values are dropped, so
+        optional CLI flags pass through untouched)."""
+        changes = {k: v for k, v in changes.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+    def make_cluster(self) -> Cluster:
+        return Cluster(num_workers=self.workers, runtime=self.backend,
+                       memory_tuples_per_worker=self.memory_tuples)
+
+    @property
+    def uses_runtime(self) -> bool:
+        """Whether engine runs go through a real executor.
+
+        Mirrors the CLI rule: any non-serial backend, or an explicitly
+        chosen transport (which exercises the data plane even under
+        serial), takes the runtime path.
+        """
+        return self.backend != "serial" or self.transport is not None
+
+    def engine_options(self, options: EngineOptions | None = None,
+                       **overrides) -> EngineOptions:
+        """Session-level defaults folded into an :class:`EngineOptions`.
+
+        Per-call ``options`` and field-name ``overrides`` win over the
+        config's ``samples``/``seed``/``work_budget``.
+        """
+        base = EngineOptions(samples=self.samples, seed=self.seed,
+                             work_budget=self.work_budget)
+        return base.merged_with(options, **overrides)

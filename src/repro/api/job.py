@@ -1,0 +1,206 @@
+"""Lazy query jobs: explain, run, estimate, compare.
+
+A :class:`QueryJob` is a (query, database) pair bound to a
+:class:`~repro.api.session.JoinSession`.  Nothing is shuffled or
+executed until ``run``/``compare`` is called; ``explain`` and
+``estimate`` are pure planner/sampler work on the coordinator (no
+executor is created, no transport publishes anything — tested via the
+data-plane counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.optimizer import Optimizer, OptimizerReport
+from ..core.sampling import CardinalityEstimator
+from ..data.database import Database
+from ..engines import registry
+from ..engines.base import Engine, EngineOptions, EngineResult, \
+    run_engine_safely
+from ..errors import ConfigError
+from ..ghd.decomposition import Hypertree, optimal_hypertree
+from ..query.query import JoinQuery
+
+__all__ = ["QueryJob", "ExplainReport", "ComparisonReport"]
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """Plan + GHD + modeled cost breakdown, produced without executing."""
+
+    query: JoinQuery
+    hypertree: Hypertree
+    report: OptimizerReport
+    #: Modeled model-seconds per phase of the chosen plan:
+    #: precompute (costM), communication (costC), computation (costE).
+    cost_breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def plan(self):
+        return self.report.plan
+
+    @property
+    def estimated_total(self) -> float:
+        return self.plan.estimated_cost
+
+    def describe(self) -> str:
+        """The CLI ``plan`` rendering: hypertree, plan, costs."""
+        query, tree = self.query, self.hypertree
+        lines = [f"query: {query!r}",
+                 f"hypertree (fhw={tree.width:.2f}):"]
+        for bag in tree.bags:
+            members = ", ".join(query.atoms[i].relation
+                                for i in bag.atom_indices)
+            lines.append(
+                f"  v{bag.index}: [{members}]  attrs="
+                f"{{{','.join(sorted(bag.attributes))}}}  "
+                f"width={tree.bag_widths[bag.index]:.2f}")
+        lines.append(f"tree edges: {tree.tree_edges}")
+        lines.append("")
+        lines.append(self.plan.describe())
+        lines.append(f"rewritten: {self.plan.rewritten_query()!r}")
+        costs = ", ".join(f"{k}={v:.4f}"
+                          for k, v in self.cost_breakdown.items())
+        lines.append(f"modeled cost (model-s): {costs} "
+                     f"-> total={self.estimated_total:.4f}")
+        lines.append(f"explored {self.report.explored_configurations} "
+                     f"configurations in {self.report.wall_seconds:.2f}s")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Results of running several engines on one job, agreement-checked."""
+
+    results: tuple[EngineResult, ...]
+
+    @property
+    def counts(self) -> set[int]:
+        return {r.count for r in self.results if r.ok}
+
+    @property
+    def agreed(self) -> bool:
+        """True when every *successful* engine produced the same count."""
+        return len(self.counts) <= 1
+
+    @property
+    def count(self) -> int | None:
+        """The agreed count, or None when engines disagree / all failed."""
+        counts = self.counts
+        return counts.pop() if len(counts) == 1 else None
+
+    @property
+    def failures(self) -> tuple[EngineResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+    def describe(self) -> str:
+        lines = [f"{'engine':14} {'count':>12} {'total(s)':>10} "
+                 f"{'wall(s)':>10}"]
+        for r in self.results:
+            if r.ok:
+                wall = (f"{r.measured_seconds:10.3f}"
+                        if r.measured_seconds is not None else f"{'-':>10}")
+                lines.append(f"{r.engine:14} {r.count:>12,} "
+                             f"{r.total_seconds:>10.4f} {wall}")
+            else:
+                lines.append(f"{r.engine:14} {'FAILED (' + r.failure + ')':>12}")
+        if not self.agreed:
+            lines.append(f"DISAGREEMENT: {sorted(self.counts)}")
+        return "\n".join(lines)
+
+
+class QueryJob:
+    """A lazily-evaluated query bound to a session's resources."""
+
+    def __init__(self, session, query: JoinQuery, db: Database):
+        self.session = session
+        self.query = query
+        self.db = db
+
+    def __repr__(self) -> str:
+        return f"QueryJob({self.query.name!r}, {self.query.num_atoms} atoms)"
+
+    # -- pure planner work (no execution) ------------------------------------
+
+    def explain(self, options: EngineOptions | None = None,
+                **overrides) -> ExplainReport:
+        """The ADJ plan for this query: GHD, plan, modeled costs.
+
+        Runs Algorithm 2 on the coordinator only — no shuffle, no
+        executor, no transport traffic.
+        """
+        from ..engines.adj import ADJ
+
+        opts = self.session.config.engine_options(options, **overrides)
+        tree = opts.hypertree or optimal_hypertree(self.query)
+        estimator = CardinalityEstimator(
+            self.db, num_samples=opts.samples, seed=opts.seed)
+        # Mirror ADJ's optimizer settings so the explained plan is the
+        # plan job.run("adj") would execute.
+        optimizer = Optimizer(self.query, self.db, self.session.cluster,
+                              hypertree=tree, estimator=estimator,
+                              hcube_impl=ADJ.hcube_impl)
+        report = optimizer.run()
+        plan = report.plan
+        model = optimizer.cost_model
+        breakdown = {
+            "precompute": sum(model.cost_m(i) for i in plan.precompute),
+            "communication": model.cost_c(plan.precompute),
+            "computation": sum(
+                model.cost_e(idx, plan.precompute, plan.traversal[:i])
+                for i, idx in enumerate(plan.traversal)),
+        }
+        return ExplainReport(query=self.query, hypertree=tree,
+                             report=report, cost_breakdown=breakdown)
+
+    def estimate(self, samples: int | None = None,
+                 seed: int | None = None):
+        """Sampling-based cardinality estimate (Sec. IV), coordinator-only."""
+        cfg = self.session.config
+        estimator = CardinalityEstimator(
+            self.db,
+            num_samples=cfg.samples if samples is None else samples,
+            seed=cfg.seed if seed is None else seed)
+        return estimator.estimate(self.query)
+
+    # -- execution -----------------------------------------------------------
+
+    def _resolve(self, engine: str | Engine,
+                 options: EngineOptions | None, **overrides) -> Engine:
+        if isinstance(engine, str):
+            opts = self.session.config.engine_options(options, **overrides)
+            return registry.create(engine, opts)
+        # An engine instance is already fully configured: silently
+        # dropping caller options would mask a mistake.
+        if options is not None or overrides:
+            raise ConfigError(
+                f"options cannot be applied to an engine instance "
+                f"({type(engine).__name__}); pass a registry key, or "
+                f"construct the instance with the desired knobs")
+        return engine
+
+    def run(self, engine: str | Engine = "adj",
+            options: EngineOptions | None = None,
+            **overrides) -> EngineResult:
+        """Run one engine (registry key or instance) on this job.
+
+        Failures (OOM / budget / worker crash) come back as a failed
+        :class:`EngineResult`, never as an exception — the session's
+        executor stays owned and is torn down by ``session.close()``.
+        """
+        obj = self._resolve(engine, options, **overrides)
+        return run_engine_safely(obj, self.query, self.db,
+                                 self.session.cluster,
+                                 executor=self.session.executor())
+
+    def compare(self, engines=None, options: EngineOptions | None = None,
+                **overrides) -> ComparisonReport:
+        """Run several engines and cross-check their counts.
+
+        ``engines`` defaults to every registered engine; entries may be
+        registry keys or engine instances.
+        """
+        names = self.session.engines() if engines is None else engines
+        return ComparisonReport(results=tuple(
+            self.run(e, options, **overrides) for e in names))

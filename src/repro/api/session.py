@@ -1,0 +1,166 @@
+"""JoinSession: the one front door to the reproduction.
+
+Owns the cluster, the (lazily created) executor and its data-plane
+transport, in the way ``SparkSession`` owns a Spark application's
+resources::
+
+    from repro import JoinSession
+
+    with JoinSession(workers=8, backend="processes",
+                     transport="shm") as session:
+        job = session.query("lj", "Q5")        # named paper test-case
+        print(job.explain().describe())        # plans only — no shuffle
+        result = job.run("adj")                # one engine
+        report = job.compare()                 # every registered engine
+
+Lifecycle guarantees:
+
+- the executor is created on first use only (``explain``/``estimate``
+  never create one);
+- ``close()`` — and therefore ``with`` exit — tears down the executor
+  and whatever its transport published (shared-memory segments), even
+  when a worker crashed mid-run;
+- ``close()`` is idempotent, and a closed session refuses new work.
+"""
+
+from __future__ import annotations
+
+from ..data.database import Database
+from ..distributed.cluster import Cluster
+from ..engines import registry
+from ..errors import ConfigError
+from ..query.parser import parse_query
+from ..query.query import JoinQuery
+from ..runtime.executor import Executor, executor_for
+from ..runtime.transport import default_transport_name
+from ..workloads.generators import make_testcase
+from .config import RunConfig
+from .job import QueryJob
+
+__all__ = ["JoinSession"]
+
+
+class JoinSession:
+    """Facade owning cluster, executor and transport lifecycle."""
+
+    def __init__(self, workers: int | None = None,
+                 backend: str | None = None,
+                 transport: str | None = None, *,
+                 samples: int | None = None,
+                 seed: int | None = None,
+                 scale: float | None = None,
+                 work_budget: int | None = None,
+                 memory_tuples: float | None = None,
+                 config: RunConfig | None = None,
+                 cluster: Cluster | None = None):
+        """Keyword arguments override ``config`` (itself env-defaulted).
+
+        ``cluster`` substitutes a pre-built :class:`Cluster` (custom cost
+        model params); its worker count and runtime hint then win over
+        the config's.  Passing ``workers=``/``backend=`` that *conflict*
+        with an explicit cluster is a :class:`ConfigError` — silently
+        preferring one would mask the mistake.
+        """
+        if cluster is not None:
+            if workers is not None and workers != cluster.num_workers:
+                raise ConfigError(
+                    f"workers={workers} conflicts with the supplied "
+                    f"cluster's num_workers={cluster.num_workers}")
+            if backend is not None and backend != cluster.runtime:
+                raise ConfigError(
+                    f"backend={backend!r} conflicts with the supplied "
+                    f"cluster's runtime={cluster.runtime!r}")
+        self.config = (config or RunConfig()).replace(
+            workers=workers, backend=backend, transport=transport,
+            samples=samples, seed=seed, scale=scale,
+            work_budget=work_budget, memory_tuples=memory_tuples)
+        if cluster is not None:
+            self.config = self.config.replace(
+                workers=cluster.num_workers, backend=cluster.runtime)
+        self._cluster = cluster or self.config.make_cluster()
+        self._executor: Executor | None = None
+        self._closed = False
+
+    # -- resources -----------------------------------------------------------
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    @property
+    def executor_created(self) -> bool:
+        """Whether the lazy executor exists yet (telemetry/testing)."""
+        return self._executor is not None
+
+    @property
+    def transport_label(self) -> str:
+        """What carries task payloads: a transport name, or ``inline``."""
+        if not self.config.uses_runtime:
+            return "inline"
+        return self.config.transport or default_transport_name()
+
+    def executor(self) -> Executor | None:
+        """The session's executor, created on first call.
+
+        Returns None on the pure-serial path (no explicit transport),
+        which keeps the historical inline evaluation.
+        """
+        self._check_open()
+        if not self.config.uses_runtime:
+            return None
+        if self._executor is None:
+            self._executor = executor_for(self._cluster,
+                                          transport=self.config.transport)
+        return self._executor
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigError("this JoinSession is closed")
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, dataset: str, query_name: str,
+              scale: float | None = None,
+              seed: int | None = None) -> QueryJob:
+        """A job for a named paper test-case, e.g. ``("lj", "Q5")``."""
+        self._check_open()
+        q, db = make_testcase(
+            dataset, query_name,
+            scale=self.config.scale if scale is None else scale,
+            seed=seed)
+        return QueryJob(self, q, db)
+
+    def query_from(self, query: JoinQuery | str, db: Database) -> QueryJob:
+        """A job for an explicit query (object or datalog-style text)."""
+        self._check_open()
+        if isinstance(query, str):
+            query = parse_query(query)
+        return QueryJob(self, query, db)
+
+    def engines(self) -> tuple[str, ...]:
+        """Registered engine keys (:mod:`repro.engines.registry`)."""
+        return registry.available()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor and its transport (idempotent)."""
+        self._closed = True
+        if self._executor is not None:
+            try:
+                self._executor.close()
+            finally:
+                self._executor = None
+
+    def __enter__(self) -> "JoinSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"JoinSession(workers={self.config.workers}, "
+                f"backend={self.config.backend!r}, "
+                f"transport={self.transport_label!r}, {state})")

@@ -8,50 +8,54 @@ Examples::
     python -m repro run wb Q1 --engine all
     python -m repro plan lj Q5 --samples 100
     python -m repro estimate lj Q4 --samples 500 --check
+
+Every command goes through :class:`repro.api.JoinSession`, so the
+``--engine`` choices come from :mod:`repro.engines.registry` and executor
+/ transport lifecycle is owned by the session (flags > env > defaults).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
-from .core import CardinalityEstimator, optimize_plan
+from .api import JoinSession, RunConfig
 from .data import DATASETS, dataset_names, default_scale, load_dataset
-from .distributed import Cluster
-from .engines import (
-    ADJ,
-    BigJoin,
-    HCubeJ,
-    HCubeJCache,
-    SparkSQLJoin,
-    YannakakisJoin,
-    run_engine_safely,
-)
-from .ghd import optimal_hypertree
+from .engines import registry
 from .query import PAPER_QUERIES
-from .runtime import executor_for
-from .runtime.transport import TRANSPORTS, default_transport_name
+from .runtime.transport import TRANSPORTS
 from .wcoj import leapfrog_join
-from .workloads import make_testcase
 
 __all__ = ["main"]
 
-_ENGINES = {
-    "sparksql": SparkSQLJoin,
-    "bigjoin": BigJoin,
-    "hcubej": HCubeJ,
-    "hcubej-cache": HCubeJCache,
-    "adj": ADJ,
-    "yannakakis": YannakakisJoin,
-}
+
+#: The CLI's own scale default — smaller than the library's (1e-4) so
+#: interactive runs finish in seconds.  Applies only when neither the
+#: --scale flag nor REPRO_SCALE is given.
+_CLI_DEFAULT_SCALE = 2e-5
 
 
-def _build_engine(name: str, samples: int):
-    cls = _ENGINES[name]
-    if cls is ADJ:
-        return ADJ(num_samples=samples)
-    return cls()
+def _resolve_scale(flag: float | None) -> float | None:
+    if flag is not None:
+        return flag
+    if os.environ.get("REPRO_SCALE"):
+        return None  # defer to the datasets layer, which reads the env
+    return _CLI_DEFAULT_SCALE
+
+
+def _session_for(args) -> JoinSession:
+    """A session configured from CLI flags.
+
+    Every flag defaults to None so precedence is flag > REPRO_* env
+    (RunConfig's default factories) > built-in default.
+    """
+    config = RunConfig().replace(
+        workers=args.workers, backend=args.backend,
+        transport=args.transport, samples=args.samples,
+        scale=_resolve_scale(args.scale))
+    return JoinSession(config=config)
 
 
 def _cmd_datasets(args) -> int:
@@ -71,90 +75,65 @@ def _cmd_queries(args) -> int:
     return 0
 
 
+def _print_result_row(result) -> None:
+    if result.ok:
+        b = result.breakdown
+        measured = result.measured_seconds
+        wall = f"{measured:8.3f}" if measured is not None else f"{'-':>8}"
+        print(f"{result.engine:14} {result.count:>12,} "
+              f"{b.optimization:>8.3f} {b.precompute:>8.3f} "
+              f"{b.communication:>8.3f} {b.computation:>8.3f} "
+              f"{b.total:>8.3f} {wall}")
+    else:
+        print(f"{result.engine:14} {'-':>12} "
+              f"{'FAILED (' + result.failure + ')':>44}")
+
+
 def _cmd_run(args) -> int:
-    query, db = make_testcase(args.dataset, args.query, scale=args.scale)
-    cluster = Cluster(num_workers=args.workers, runtime=args.backend)
-    names = list(_ENGINES) if args.engine == "all" else [args.engine]
-    use_runtime = args.backend != "serial" or args.transport is not None
-    transport = (args.transport or default_transport_name()) \
-        if use_runtime else "inline"
-    print(f"test-case ({args.dataset.upper()},{args.query}), "
-          f"{len(db[query.atoms[0].relation]):,} edges/relation, "
-          f"{cluster.num_workers} workers, backend={args.backend}, "
-          f"transport={transport}")
-    print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
-          f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8}")
-    counts = set()
-    executor = None
-    if use_runtime:
-        # executor_for caps process pools at the usable CPU count.  An
-        # explicit --transport forces the runtime path even on the
-        # serial backend so the data plane is exercised.
-        executor = executor_for(cluster, transport=transport)
-    try:
-        for name in names:
-            result = run_engine_safely(_build_engine(name, args.samples),
-                                       query, db, cluster,
-                                       executor=executor)
-            if result.ok:
-                b = result.breakdown
-                measured = result.measured_seconds
-                wall = f"{measured:8.3f}" if measured is not None \
-                    else f"{'-':>8}"
-                print(f"{result.engine:14} {result.count:>12,} "
-                      f"{b.optimization:>8.3f} {b.precompute:>8.3f} "
-                      f"{b.communication:>8.3f} {b.computation:>8.3f} "
-                      f"{b.total:>8.3f} {wall}")
-                counts.add(result.count)
-            else:
-                print(f"{result.engine:14} {'-':>12} "
-                      f"{'FAILED (' + result.failure + ')':>44}")
-    finally:
-        if executor is not None:
-            executor.close()
-    if len(counts) > 1:
-        print(f"ERROR: engines disagree: {counts}", file=sys.stderr)
+    with _session_for(args) as session:
+        job = session.query(args.dataset, args.query)
+        print(f"test-case ({args.dataset.upper()},{args.query}), "
+              f"{len(job.db[job.query.atoms[0].relation]):,} "
+              f"edges/relation, {session.cluster.num_workers} workers, "
+              f"backend={session.config.backend}, "
+              f"transport={session.transport_label}")
+        print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
+              f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8}")
+        engines = session.engines() if args.engine == "all" \
+            else [args.engine]
+        report = job.compare(engines=engines)
+        for result in report.results:
+            _print_result_row(result)
+    if not report.agreed:
+        print(f"ERROR: engines disagree: {report.counts}",
+              file=sys.stderr)
         return 1
     return 0
 
 
 def _cmd_plan(args) -> int:
-    query, db = make_testcase(args.dataset, args.query, scale=args.scale)
-    tree = optimal_hypertree(query)
-    print(f"query: {query!r}")
-    print(f"hypertree (fhw={tree.width:.2f}):")
-    for bag in tree.bags:
-        members = ", ".join(query.atoms[i].relation
-                            for i in bag.atom_indices)
-        print(f"  v{bag.index}: [{members}]  attrs="
-              f"{{{','.join(sorted(bag.attributes))}}}  "
-              f"width={tree.bag_widths[bag.index]:.2f}")
-    print(f"tree edges: {tree.tree_edges}")
-    estimator = CardinalityEstimator(db, num_samples=args.samples, seed=0)
-    report = optimize_plan(query, db, Cluster(num_workers=args.workers),
-                           hypertree=tree, estimator=estimator)
-    print(f"\n{report.plan.describe()}")
-    print(f"rewritten: {report.plan.rewritten_query()!r}")
-    print(f"explored {report.explored_configurations} configurations in "
-          f"{report.wall_seconds:.2f}s")
+    with _session_for(args) as session:
+        explain = session.query(args.dataset, args.query).explain()
+    print(explain.describe())
     return 0
 
 
 def _cmd_estimate(args) -> int:
-    query, db = make_testcase(args.dataset, args.query, scale=args.scale)
-    est = CardinalityEstimator(db, num_samples=args.samples,
-                               seed=args.seed).estimate(query)
-    mode = "exact (full enumeration)" if est.exact else \
-        f"{est.num_samples} samples"
-    print(f"estimate: {est.estimate:,.0f}  ({mode}, "
-          f"|val({est.attribute})|={est.val_size})")
-    if not est.exact:
-        print(f"Lemma 2 error bound @95%: +/- {est.error_bound(0.05):,.0f}")
-    if args.check:
-        true = leapfrog_join(query, db).count
-        hi = max(est.estimate, float(true), 1.0)
-        lo = max(1.0, min(est.estimate, float(true)))
-        print(f"true: {true:,}  (D = {hi / lo:.3f})")
+    with _session_for(args) as session:
+        job = session.query(args.dataset, args.query)
+        est = job.estimate(seed=args.seed)
+        mode = "exact (full enumeration)" if est.exact else \
+            f"{est.num_samples} samples"
+        print(f"estimate: {est.estimate:,.0f}  ({mode}, "
+              f"|val({est.attribute})|={est.val_size})")
+        if not est.exact:
+            print(f"Lemma 2 error bound @95%: "
+                  f"+/- {est.error_bound(0.05):,.0f}")
+        if args.check:
+            true = leapfrog_join(job.query, job.db).count
+            hi = max(est.estimate, float(true), 1.0)
+            lo = max(1.0, min(est.estimate, float(true)))
+            print(f"true: {true:,}  (D = {hi / lo:.3f})")
     return 0
 
 
@@ -173,19 +152,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("dataset", choices=dataset_names())
         p.add_argument("query", type=str.upper,
                        choices=sorted(PAPER_QUERIES))
-        p.add_argument("--scale", type=float, default=2e-5,
-                       help="dataset scale (default 2e-5)")
-        p.add_argument("--workers", type=int, default=8)
-        p.add_argument("--samples", type=int, default=100)
+        p.add_argument("--scale", type=float, default=None,
+                       help="dataset scale (default: $REPRO_SCALE or "
+                            "2e-5)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker count (default: $REPRO_WORKERS or 8)")
+        p.add_argument("--samples", type=int, default=None,
+                       help="optimizer samples (default: $REPRO_SAMPLES "
+                            "or 100)")
+        p.set_defaults(backend=None, transport=None)
 
     run_p = sub.add_parser("run", help="run engines on a test-case")
     common(run_p)
     run_p.add_argument("--engine", default="adj",
-                       choices=["all", *_ENGINES])
-    run_p.add_argument("--backend", default="serial",
+                       choices=["all", *registry.available()])
+    run_p.add_argument("--backend", default=None,
                        choices=["serial", "threads", "processes"],
                        help="runtime backend for local per-worker "
-                            "computation (default: serial)")
+                            "computation (default: $REPRO_BACKEND or "
+                            "serial)")
     run_p.add_argument("--transport", default=None,
                        choices=sorted(TRANSPORTS),
                        help="data plane carrying task payloads: 'pickle' "

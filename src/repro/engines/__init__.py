@@ -1,7 +1,20 @@
-"""The five distributed engines compared in Sec. VII."""
+"""The five distributed engines compared in Sec. VII (plus Yannakakis).
 
+Engines are looked up by string key through :mod:`repro.engines.registry`
+(``registry.create("adj", samples=50)``); construct the classes directly
+when you need non-registry knobs.
+"""
+
+from . import registry
 from .adj import ADJ
-from .base import Engine, EngineResult, attach_degree_order, run_engine_safely
+from .base import (
+    Engine,
+    EngineOptions,
+    EngineResult,
+    attach_degree_order,
+    engine_from_options,
+    run_engine_safely,
+)
 from .bigjoin import BigJoin
 from .hcubej import HCubeJ
 from .hcubej_cache import HCubeJCache
@@ -12,8 +25,11 @@ from .yannakakis import YannakakisJoin
 __all__ = [
     "ADJ",
     "Engine",
+    "EngineOptions",
     "EngineResult",
     "attach_degree_order",
+    "engine_from_options",
+    "registry",
     "run_engine_safely",
     "BigJoin",
     "HCubeJ",

@@ -34,6 +34,8 @@ class ADJ:
 
     name = "ADJ"
     hcube_impl = "merge"
+    options_map = {"samples": "num_samples", "seed": "seed",
+                   "work_budget": "work_budget", "hypertree": "hypertree"}
 
     def __init__(self, num_samples: int = 200, seed: int = 0,
                  work_budget: int | None = None,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -11,13 +12,78 @@ from ..data.database import Database
 from ..data.relation import Relation
 from ..distributed.cluster import Cluster
 from ..distributed.metrics import CostBreakdown
-from ..errors import BudgetExceeded, OutOfMemory, WorkerCrashed
+from ..errors import BudgetExceeded, ConfigError, OutOfMemory, WorkerCrashed
+from ..ghd.decomposition import Hypertree
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
 from ..runtime.telemetry import RuntimeTelemetry
 
-__all__ = ["EngineResult", "Engine", "run_engine_safely",
-           "attach_degree_order"]
+__all__ = ["EngineResult", "Engine", "EngineOptions", "run_engine_safely",
+           "engine_from_options", "attach_degree_order"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Typed knobs shared by every engine constructor.
+
+    Each field defaults to ``None``, meaning "use the engine's own
+    default".  An engine declares which fields it understands (and what
+    constructor keyword each maps to) in its ``options_map`` class
+    attribute; :func:`engine_from_options` performs the translation, so
+    callers — the registry, :class:`repro.api.JoinSession`, benches —
+    never need per-engine keyword knowledge.
+    """
+
+    #: Optimizer sample budget (ADJ's ``num_samples``).
+    samples: int | None = None
+    #: Seed for sampling-based optimization.
+    seed: int | None = None
+    #: Leapfrog work budget, the paper's 12-hour-timeout analogue.
+    work_budget: int | None = None
+    #: Cap on intermediate tuples (SparkSQL's timeout analogue).
+    budget_tuples: int | None = None
+    #: Cap on shuffled bindings (BigJoin's timeout analogue).
+    budget_bindings: int | None = None
+    #: Explicit attribute order (engines that accept one).
+    order: tuple[str, ...] | None = None
+    #: Explicit hypertree decomposition (engines that accept one).
+    hypertree: Hypertree | None = None
+
+    def merged_with(self, other: "EngineOptions | None" = None,
+                    **overrides) -> "EngineOptions":
+        """A copy where ``other``'s (then ``overrides``'s) non-None
+        fields win over this instance's."""
+        values = {f.name: getattr(self, f.name)
+                  for f in dataclasses.fields(self)}
+        if other is not None:
+            for f in dataclasses.fields(other):
+                v = getattr(other, f.name)
+                if v is not None:
+                    values[f.name] = v
+        for key, v in overrides.items():
+            if key not in values:
+                raise ConfigError(
+                    f"unknown engine option {key!r}; choose from "
+                    f"{tuple(values)}")
+            if v is not None:
+                values[key] = v
+        return EngineOptions(**values)
+
+
+def engine_from_options(cls, options: EngineOptions | None):
+    """Instantiate an engine class from an :class:`EngineOptions`.
+
+    Only the fields named in ``cls.options_map`` are consulted; ``None``
+    fields are omitted so the constructor defaults apply.
+    """
+    kwargs = {}
+    if options is not None:
+        for opt_field, ctor_kwarg in getattr(cls, "options_map",
+                                             {}).items():
+            value = getattr(options, opt_field)
+            if value is not None:
+                kwargs[ctor_kwarg] = value
+    return cls(**kwargs)
 
 
 @dataclass
@@ -56,6 +122,8 @@ class Engine(Protocol):
     """A distributed join engine (the paper's competing methods)."""
 
     name: str
+    #: EngineOptions field -> constructor keyword (see engine_from_options).
+    options_map: dict[str, str]
 
     def run(self, query: JoinQuery, db: Database, cluster: Cluster,
             executor: Executor | None = None) -> EngineResult:

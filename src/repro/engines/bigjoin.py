@@ -46,6 +46,8 @@ class BigJoin:
     """Round-per-attribute parallel Leapfrog."""
 
     name = "BigJoin"
+    options_map = {"budget_bindings": "budget_bindings",
+                   "work_budget": "work_budget", "order": "order"}
 
     def __init__(self, budget_bindings: int | None = None,
                  work_budget: int | None = None,

@@ -25,6 +25,7 @@ class HCubeJ:
 
     name = "HCubeJ"
     hcube_impl = "push"
+    options_map = {"work_budget": "work_budget", "order": "order"}
 
     def __init__(self, work_budget: int | None = None,
                  order: tuple[str, ...] | None = None):

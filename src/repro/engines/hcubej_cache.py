@@ -35,6 +35,7 @@ class HCubeJCache(HCubeJ):
 
     name = "HCubeJ+Cache"
     hcube_impl = "push"
+    # options_map inherited from HCubeJ (work_budget, order).
 
     def run(self, query: JoinQuery, db: Database, cluster: Cluster,
             executor: Executor | None = None) -> EngineResult:

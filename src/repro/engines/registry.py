@@ -1,0 +1,121 @@
+"""String-keyed engine registry: one source of truth for engine names.
+
+The CLI ``--engine`` choices, the benchmark lineups and the
+:class:`repro.api.JoinSession` façade all used to carry their own
+hand-rolled ``{"adj": ADJ, ...}`` tables.  This module replaces them:
+
+>>> from repro.engines import registry
+>>> registry.available()
+('sparksql', 'bigjoin', 'hcubej', 'hcubej-cache', 'adj', 'yannakakis')
+>>> engine = registry.create("adj", samples=50)
+
+``create`` accepts an :class:`~repro.engines.base.EngineOptions` (plus
+field-name keyword overrides) and translates it through each engine's
+``options_map``, so callers never need per-engine constructor keywords.
+
+New engines register with :func:`register` — as a plain call or a class
+decorator — and immediately show up in the CLI, the benches and
+``JoinSession.engines()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .adj import ADJ
+from .base import Engine, EngineOptions, engine_from_options
+from .bigjoin import BigJoin
+from .hcubej import HCubeJ
+from .hcubej_cache import HCubeJCache
+from .sparksql import SparkSQLJoin
+from .yannakakis import YannakakisJoin
+
+__all__ = ["EngineSpec", "register", "create", "available", "spec",
+           "display_name"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered engine: key, class, one-line summary."""
+
+    key: str
+    cls: type
+    summary: str = ""
+
+    @property
+    def display_name(self) -> str:
+        """The engine's human-facing name (``ADJ``, ``HCubeJ+Cache``...)."""
+        return getattr(self.cls, "name", self.key)
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register(key: str, cls: type | None = None, *, summary: str = ""):
+    """Register an engine class under ``key``.
+
+    Usable as a call (``register("adj", ADJ)``) or a decorator
+    (``@register("myengine")``).  Re-registering an existing key is an
+    error — remove the old entry first (tests may monkeypatch
+    ``_REGISTRY`` instead).
+    """
+    def _add(c: type) -> type:
+        if key in _REGISTRY:
+            raise ConfigError(f"engine {key!r} is already registered")
+        _REGISTRY[key] = EngineSpec(key=key, cls=c, summary=summary)
+        return c
+
+    if cls is None:
+        return _add
+    return _add(cls)
+
+
+def available() -> tuple[str, ...]:
+    """Registered engine keys, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def spec(key: str) -> EngineSpec:
+    """The :class:`EngineSpec` for ``key`` (raises ConfigError)."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {key!r}; choose from {available()}") from None
+
+
+def display_name(key: str) -> str:
+    return spec(key).display_name
+
+
+def create(key: str, options: EngineOptions | None = None,
+           **overrides) -> Engine:
+    """Instantiate the engine registered under ``key``.
+
+    ``options`` supplies typed knobs; ``overrides`` are
+    :class:`EngineOptions` field names that win over ``options``
+    (``create("adj", opts, samples=50)``).  Fields an engine does not
+    declare in its ``options_map`` are silently ignored, so one options
+    object can drive a whole multi-engine lineup.
+    """
+    engine_spec = spec(key)
+    if overrides:
+        options = (options or EngineOptions()).merged_with(**overrides)
+    return engine_from_options(engine_spec.cls, options)
+
+
+# -- the six built-in engines (Sec. VII lineup + Yannakakis) -----------------
+
+register("sparksql", SparkSQLJoin,
+         summary="multi-round distributed binary hash joins")
+register("bigjoin", BigJoin,
+         summary="round-per-attribute parallel Leapfrog (Ammar et al.)")
+register("hcubej", HCubeJ,
+         summary="one-round HCube + Leapfrog, communication-first")
+register("hcubej-cache", HCubeJCache,
+         summary="HCubeJ with bounded per-cube intersection caches")
+register("adj", ADJ,
+         summary="the paper's co-optimized one-round engine")
+register("yannakakis", YannakakisJoin,
+         summary="GHD + full reducer + bottom-up joins (acyclic)")

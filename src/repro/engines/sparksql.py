@@ -44,6 +44,7 @@ class SparkSQLJoin:
     """Cost-ordered left-deep distributed hash join."""
 
     name = "SparkSQL"
+    options_map = {"budget_tuples": "budget_tuples"}
 
     def __init__(self, budget_tuples: int | None = None):
         #: Cap on total intermediate tuples (the 12-hour-timeout analogue).

@@ -44,6 +44,7 @@ class YannakakisJoin:
     """GHD + full reducer + bottom-up joins."""
 
     name = "Yannakakis"
+    options_map = {"work_budget": "work_budget", "hypertree": "hypertree"}
 
     def __init__(self, work_budget: int | None = None,
                  hypertree: Hypertree | None = None):
