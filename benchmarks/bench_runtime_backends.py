@@ -3,12 +3,14 @@
 Unlike the paper-figure benches (which report model-seconds from the
 cost ledgers), this bench actually executes a one-round HCube plan on the
 ``serial``, ``threads`` and ``processes`` backends of
-:mod:`repro.runtime`, under both data-plane transports (``pickle``
-partitions vs zero-copy ``shm`` descriptors), sweeping worker counts.
-It reports the modeled total, the measured wall-clock, the measured
-speedup over ``serial`` at the same worker count and transport, and the
-bytes the coordinator actually serialized into task payloads
-(``shipped``) — the column that shrinks under ``shm``.
+:mod:`repro.runtime`, under all three data-plane transports (``pickle``
+partitions, zero-copy ``shm`` descriptors, and loopback ``tcp``
+block-store descriptors), sweeping worker counts.  It reports the
+modeled total, the measured wall-clock, the measured speedup over
+``serial`` at the same worker count and transport, and the bytes the
+coordinator actually serialized into task payloads (``shipped``) — the
+column that shrinks under ``shm`` and ``tcp`` (workers fetch partitions
+from the block store instead; that traffic lands in ``fetched``).
 
 Workload: triangle counting (Q1) on a synthetic heavy-tailed (skewed)
 power-law graph — hub vertices make per-worker Leapfrog work expensive
@@ -48,7 +50,7 @@ WORKER_SWEEP = tuple(
     int(w) for w in
     os.environ.get("REPRO_BENCH_RUNTIME_WORKERS", "1,2,4").split(","))
 BACKENDS = ("serial", "threads", "processes")
-TRANSPORT_SWEEP = ("pickle", "shm")
+TRANSPORT_SWEEP = ("pickle", "shm", "tcp")
 
 
 def skew_testcase():
@@ -107,20 +109,28 @@ def run_backends():
                     "coordinator_shipped_bytes":
                         plane.get("shipped_bytes", 0),
                     "published_bytes": plane.get("published_bytes", 0),
+                    "fetched_bytes": plane.get("fetched_bytes", 0),
+                    "freed_blocks": plane.get("freed_blocks", 0),
                 })
     assert len(counts) == 1, f"backends disagree: {counts}"
-    # The zero-copy plane must move strictly fewer coordinator-pickled
-    # bytes than the pickle plane on the same (backend, workers) run.
+    # The descriptor-only planes must move strictly fewer coordinator-
+    # pickled bytes than the pickle plane on the same (backend, workers)
+    # run — and under tcp the partition bytes must show up as block
+    # store fetches instead.
     by_key = {(r["backend"], r["workers"], r["transport"]): r
               for r in records}
     for workers in WORKER_SWEEP:
         for backend in BACKENDS:
-            shm = by_key[(backend, workers, "shm")]
             pik = by_key[(backend, workers, "pickle")]
-            assert (shm["coordinator_shipped_bytes"]
-                    < pik["coordinator_shipped_bytes"]), \
-                (f"shm did not reduce shipped bytes at "
-                 f"{backend}/{workers}")
+            for transport in ("shm", "tcp"):
+                rec = by_key[(backend, workers, transport)]
+                assert (rec["coordinator_shipped_bytes"]
+                        < pik["coordinator_shipped_bytes"]), \
+                    (f"{transport} did not reduce shipped bytes at "
+                     f"{backend}/{workers}")
+            tcp = by_key[(backend, workers, "tcp")]
+            assert tcp["fetched_bytes"] >= tcp["published_bytes"] > 0, \
+                f"tcp fetches not accounted at {backend}/{workers}"
     return records
 
 
@@ -137,11 +147,12 @@ def main(argv=None) -> None:
              f"{r['modeled_seconds']:.4f}",
              f"{r['measured_seconds']:.4f}",
              f"{r['coordinator_shipped_bytes']:,}",
+             f"{r['fetched_bytes']:,}",
              f"{r['speedup_vs_serial']:.2f}x"]
             for r in records]
     table = fmt_table(
         ["backend", "transport", "workers", "count", "modeled_s",
-         "measured_s", "shipped_B", "speedup_vs_serial"],
+         "measured_s", "shipped_B", "fetched_B", "speedup_vs_serial"],
         rows,
         title=(f"Runtime backends x transports on the synthetic skew "
                f"graph ({SKEW_EDGES:,} edges, {cores} usable core(s))"))
@@ -150,9 +161,12 @@ def main(argv=None) -> None:
             "wall-clock on this machine.  'shipped_B' counts bytes the "
             "coordinator serialized into task payloads — full partition "
             "matrices under the pickle transport, (block, dtype, shape, "
-            "row-index) descriptors under shm.  The processes backend "
-            "needs >= as many usable cores as workers to show its "
-            f"speedup; this machine exposes {cores}.")
+            "row-index) descriptors under shm and tcp.  'fetched_B' "
+            "counts bytes workers pulled back out of the tcp block "
+            "store (zero for the other transports: shm readers attach "
+            "segments directly).  The processes backend needs >= as "
+            "many usable cores as workers to show its speedup; this "
+            f"machine exposes {cores}.")
     report("runtime_backends", table + note)
     if args.json:
         payload = {

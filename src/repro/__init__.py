@@ -13,6 +13,8 @@ Public API highlights
 - :mod:`repro.distributed` — cluster simulator and HCube shuffles.
 - :mod:`repro.core` — the ADJ optimizer, cost model and sampler.
 - :mod:`repro.runtime` — real parallel execution backends and telemetry.
+- :mod:`repro.net` — the multi-machine data plane: TCP block store,
+  worker agents (``python -m repro serve``) and the ``remote`` backend.
 - :mod:`repro.workloads` — paper test-case construction.
 
 Quickstart::
@@ -63,11 +65,19 @@ __version__ = "0.2.0"
 #: accessing them from the package root warns but works unchanged.
 _DEPRECATED_SHIMS = ("run_engine_safely", "executor_for")
 
+#: repro.net names resolved on first access — `import repro` must not
+#: pull in the networking package (matching the lazy `tcp`/`remote`
+#: registrations in the transport and backend registries).
+_LAZY_NET = ("RemoteExecutor", "TcpTransport", "WorkerAgent")
+
 
 def __getattr__(name: str):
     if name in _DEPRECATED_SHIMS:
         from .api import compat
         return getattr(compat, name)
+    if name in _LAZY_NET:
+        from . import net
+        return getattr(net, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -98,6 +108,9 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "RemoteExecutor",
+    "TcpTransport",
+    "WorkerAgent",
     "RuntimeTelemetry",
     "create_executor",
     "executor_for",

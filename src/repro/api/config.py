@@ -13,10 +13,13 @@ wins, and an unset field falls back to the documented default.
 Environment variables::
 
     REPRO_WORKERS      simulated worker count         (default 8)
-    REPRO_BACKEND      serial | threads | processes   (default serial)
-    REPRO_TRANSPORT    pickle | shm — resolved by the transport layer
-                       at executor creation, not here (an env-set
+    REPRO_BACKEND      serial | threads | processes | remote
+                                                      (default serial)
+    REPRO_TRANSPORT    pickle | shm | tcp — resolved by the transport
+                       layer at executor creation, not here (an env-set
                        transport alone does not force the runtime path)
+    REPRO_HOSTS        worker hosts for the remote backend, e.g.
+                       "127.0.0.1:7070,127.0.0.1:7071,local:2"
     REPRO_SAMPLES      optimizer sample budget        (default 100)
     REPRO_SEED         sampling seed                  (default 0)
     REPRO_SCALE        dataset scale — resolved by repro.data.datasets
@@ -35,7 +38,26 @@ from ..engines.base import EngineOptions
 from ..errors import ConfigError
 
 __all__ = ["RunConfig", "EngineOptions", "default_backend",
-           "default_samples", "default_seed"]
+           "default_hosts", "default_samples", "default_seed"]
+
+
+HOSTS_ENV_VAR = "REPRO_HOSTS"
+
+
+def default_hosts() -> tuple[str, ...] | None:
+    """Host specs from ``REPRO_HOSTS`` (None when unset/empty).
+
+    Mirrors :func:`repro.net.executor.default_hosts` rather than
+    importing it: this factory runs on every :class:`RunConfig`
+    construction, and ``import repro.api`` must not pull in the
+    networking package (it is registered lazily everywhere else too —
+    only ``backend="remote"`` touches :mod:`repro.net`).
+    """
+    raw = os.environ.get(HOSTS_ENV_VAR)
+    if raw is None:
+        return None
+    hosts = tuple(part.strip() for part in raw.split(",") if part.strip())
+    return hosts or None
 
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 SAMPLES_ENV_VAR = "REPRO_SAMPLES"
@@ -94,6 +116,10 @@ class RunConfig:
     #: executor is created.  Setting it explicitly forces the runtime
     #: path even on the serial backend, mirroring the CLI.
     transport: str | None = None
+    #: Worker hosts for the ``remote`` backend (REPRO_HOSTS): a tuple of
+    #: ``"host:port"`` agent addresses and/or ``"local[:slots]"``
+    #: entries; None is fine for every other backend.
+    hosts: tuple[str, ...] | None = field(default_factory=default_hosts)
     #: Optimizer sample budget (REPRO_SAMPLES).
     samples: int = field(default_factory=default_samples)
     #: Sampling seed (REPRO_SEED).
@@ -118,6 +144,17 @@ class RunConfig:
             raise ConfigError(
                 f"unknown backend {self.backend!r}; "
                 f"choose from {RUNTIME_BACKENDS}")
+        if self.hosts is not None and not isinstance(self.hosts, tuple):
+            # Accept a comma-separated string or any iterable of specs.
+            hosts = (tuple(p.strip() for p in self.hosts.split(",")
+                           if p.strip())
+                     if isinstance(self.hosts, str)
+                     else tuple(str(h) for h in self.hosts))
+            object.__setattr__(self, "hosts", hosts or None)
+        if self.backend == "remote":
+            from ..net.executor import parse_host_specs
+
+            parse_host_specs(self.hosts)   # validates; raises ConfigError
 
     def replace(self, **changes) -> "RunConfig":
         """A copy with ``changes`` applied (None values are dropped, so

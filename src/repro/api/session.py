@@ -46,6 +46,7 @@ class JoinSession:
     def __init__(self, workers: int | None = None,
                  backend: str | None = None,
                  transport: str | None = None, *,
+                 hosts=None,
                  samples: int | None = None,
                  seed: int | None = None,
                  scale: float | None = None,
@@ -72,7 +73,7 @@ class JoinSession:
                     f"cluster's runtime={cluster.runtime!r}")
         self.config = (config or RunConfig()).replace(
             workers=workers, backend=backend, transport=transport,
-            samples=samples, seed=seed, scale=scale,
+            hosts=hosts, samples=samples, seed=seed, scale=scale,
             work_budget=work_budget, memory_tuples=memory_tuples)
         if cluster is not None:
             self.config = self.config.replace(
@@ -97,7 +98,13 @@ class JoinSession:
         """What carries task payloads: a transport name, or ``inline``."""
         if not self.config.uses_runtime:
             return "inline"
-        return self.config.transport or default_transport_name()
+        if self.config.transport:
+            return self.config.transport
+        # Mirror RemoteExecutor's default: the remote backend rides the
+        # tcp block store unless REPRO_TRANSPORT says otherwise.
+        if self.config.backend == "remote":
+            return default_transport_name(fallback="tcp")
+        return default_transport_name()
 
     def executor(self) -> Executor | None:
         """The session's executor, created on first call.
@@ -110,7 +117,8 @@ class JoinSession:
             return None
         if self._executor is None:
             self._executor = executor_for(self._cluster,
-                                          transport=self.config.transport)
+                                          transport=self.config.transport,
+                                          hosts=self.config.hosts)
         return self._executor
 
     def _check_open(self) -> None:

@@ -9,9 +9,15 @@ Examples::
     python -m repro plan lj Q5 --samples 100
     python -m repro estimate lj Q4 --samples 500 --check
 
+    # multi-machine: stand up worker agents, then drive them
+    python -m repro serve --port 7070          # on each worker host
+    python -m repro run wb Q1 --backend remote \
+        --hosts 127.0.0.1:7070,127.0.0.1:7071
+
 Every command goes through :class:`repro.api.JoinSession`, so the
-``--engine`` choices come from :mod:`repro.engines.registry` and executor
-/ transport lifecycle is owned by the session (flags > env > defaults).
+``--engine`` choices come from :mod:`repro.engines.registry`, the
+``--transport`` choices from the transport registry, and executor /
+transport lifecycle is owned by the session (flags > env > defaults).
 """
 
 from __future__ import annotations
@@ -23,9 +29,10 @@ from typing import Sequence
 
 from .api import JoinSession, RunConfig
 from .data import DATASETS, dataset_names, default_scale, load_dataset
+from .distributed.cluster import RUNTIME_BACKENDS
 from .engines import registry
 from .query import PAPER_QUERIES
-from .runtime.transport import TRANSPORTS
+from .runtime.transport import available_transports
 from .wcoj import leapfrog_join
 
 __all__ = ["main"]
@@ -53,8 +60,8 @@ def _session_for(args) -> JoinSession:
     """
     config = RunConfig().replace(
         workers=args.workers, backend=args.backend,
-        transport=args.transport, samples=args.samples,
-        scale=_resolve_scale(args.scale))
+        transport=args.transport, hosts=getattr(args, "hosts", None),
+        samples=args.samples, scale=_resolve_scale(args.scale))
     return JoinSession(config=config)
 
 
@@ -75,15 +82,30 @@ def _cmd_queries(args) -> int:
     return 0
 
 
+def _fmt_bytes(n) -> str:
+    """Compact byte counts for the run table (None renders as '-')."""
+    if n is None:
+        return "-"
+    n = int(n)
+    for unit in ("B", "K", "M", "G"):
+        if n < 1024 or unit == "G":
+            return f"{n}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n}"  # pragma: no cover - unreachable
+
+
 def _print_result_row(result) -> None:
     if result.ok:
         b = result.breakdown
         measured = result.measured_seconds
         wall = f"{measured:8.3f}" if measured is not None else f"{'-':>8}"
+        plane = result.data_plane or {}
+        ship = _fmt_bytes(plane.get("shipped_bytes"))
+        fetch = _fmt_bytes(plane.get("fetched_bytes"))
         print(f"{result.engine:14} {result.count:>12,} "
               f"{b.optimization:>8.3f} {b.precompute:>8.3f} "
               f"{b.communication:>8.3f} {b.computation:>8.3f} "
-              f"{b.total:>8.3f} {wall}")
+              f"{b.total:>8.3f} {wall} {ship:>8} {fetch:>8}")
     else:
         print(f"{result.engine:14} {'-':>12} "
               f"{'FAILED (' + result.failure + ')':>44}")
@@ -98,7 +120,8 @@ def _cmd_run(args) -> int:
               f"backend={session.config.backend}, "
               f"transport={session.transport_label}")
         print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
-              f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8}")
+              f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8} "
+              f"{'ship':>8} {'fetch':>8}")
         engines = session.engines() if args.engine == "all" \
             else [args.engine]
         report = job.compare(engines=engines)
@@ -109,6 +132,56 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Stand up a worker agent and serve until interrupted."""
+    from .net import WorkerAgent
+
+    agent = WorkerAgent(host=args.host, port=args.port, slots=args.slots,
+                        mode="inline" if args.inline else "processes")
+    try:
+        agent.start()
+    except OSError as exc:
+        print(f"cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"repro worker agent listening on {agent.host}:{agent.port} "
+          f"(slots={agent.slots}, pid={os.getpid()})", flush=True)
+
+    # `kill <pid>` (how CI stops agents) should shut the task pool down
+    # as cleanly as Ctrl-C does.
+    def _sigterm(_signum, _frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    import signal
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        _serve_wait(agent, args.max_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.stop()
+        print(f"worker agent on {agent.host}:{agent.port} stopped "
+              f"({agent.tasks_run} tasks run, "
+              f"{agent.tasks_failed} failed)", flush=True)
+    return 0
+
+
+def _serve_wait(agent, max_seconds: float | None) -> None:
+    """Block while the agent serves (bounded when ``max_seconds`` set).
+
+    Separated out so tests can drive the loop without signals.
+    """
+    import time
+
+    deadline = None if max_seconds is None else \
+        time.monotonic() + max_seconds
+    while agent.running:
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(0.2)
 
 
 def _cmd_plan(args) -> int:
@@ -167,16 +240,44 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default="adj",
                        choices=["all", *registry.available()])
     run_p.add_argument("--backend", default=None,
-                       choices=["serial", "threads", "processes"],
-                       help="runtime backend for local per-worker "
-                            "computation (default: $REPRO_BACKEND or "
-                            "serial)")
+                       choices=list(RUNTIME_BACKENDS),
+                       help="runtime backend for per-worker computation: "
+                            "serial/threads/processes run locally, "
+                            "'remote' drives worker agents from --hosts "
+                            "(default: $REPRO_BACKEND or serial)")
     run_p.add_argument("--transport", default=None,
-                       choices=sorted(TRANSPORTS),
+                       choices=sorted(available_transports()),
                        help="data plane carrying task payloads: 'pickle' "
                             "ships partition matrices, 'shm' ships "
-                            "shared-memory descriptors (default: "
-                            "$REPRO_TRANSPORT or pickle)")
+                            "shared-memory descriptors, 'tcp' ships "
+                            "block-store descriptors remote workers "
+                            "fetch themselves (default: $REPRO_TRANSPORT; "
+                            "pickle, or tcp for --backend remote)")
+    run_p.add_argument("--hosts", default=None,
+                       help="comma-separated worker hosts for --backend "
+                            "remote: 'host:port' agents (python -m repro "
+                            "serve) and/or 'local[:slots]' (default: "
+                            "$REPRO_HOSTS)")
+
+    serve_p = sub.add_parser(
+        "serve", help="stand up a worker agent for remote coordinators")
+    serve_p.add_argument("--port", type=int, default=7070,
+                         help="port to listen on (0 picks an ephemeral "
+                              "port, printed on startup; default 7070)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1; "
+                              "use 0.0.0.0 only on trusted networks — "
+                              "task frames are pickled)")
+    serve_p.add_argument("--slots", type=int, default=None,
+                         help="task slots to advertise (default: usable "
+                              "CPU count)")
+    serve_p.add_argument("--max-seconds", type=float, default=None,
+                         help="exit after this long (CI convenience; "
+                              "default: serve until Ctrl-C)")
+    serve_p.add_argument("--inline", action="store_true",
+                         help="run tasks on the connection thread "
+                              "instead of the process pool (debugging; "
+                              "GIL-bound)")
 
     plan_p = sub.add_parser("plan", help="show the ADJ plan for a "
                                          "test-case")
@@ -198,6 +299,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "plan": _cmd_plan,
         "estimate": _cmd_estimate,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

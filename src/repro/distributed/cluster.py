@@ -10,7 +10,8 @@ fresh cost ledgers.
 The ``runtime`` field is a *hint* naming the execution backend
 (:mod:`repro.runtime`) that should carry local per-cube computation:
 ``serial`` keeps everything in-process (the historical simulated
-behaviour), ``threads``/``processes`` run worker tasks on a real pool.
+behaviour), ``threads``/``processes`` run worker tasks on a real pool,
+and ``remote`` drives :mod:`repro.net` worker agents on other machines.
 The hint is resolved into an :class:`repro.runtime.Executor` by
 :func:`repro.runtime.executor_for`.
 """
@@ -31,8 +32,9 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 _DEFAULT_WORKERS = 8
 
-#: Execution backends understood by :mod:`repro.runtime`.
-RUNTIME_BACKENDS = ("serial", "threads", "processes")
+#: Execution backends understood by :mod:`repro.runtime` (``remote``
+#: resolves to :class:`repro.net.executor.RemoteExecutor` lazily).
+RUNTIME_BACKENDS = ("serial", "threads", "processes", "remote")
 
 
 def default_workers() -> int:

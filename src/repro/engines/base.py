@@ -113,6 +113,17 @@ class EngineResult:
         return self.extra.get("telemetry")
 
     @property
+    def data_plane(self) -> dict | None:
+        """Physical data-plane counters, when the run used a backend.
+
+        Keys follow :class:`repro.runtime.transport.TransportStats`
+        (``published_bytes``, ``shipped_bytes``, ``fetched_bytes``,
+        ``freed_blocks``, ...) plus ``transport`` — the basis for
+        comparing pickle vs shm vs tcp movement on the same run.
+        """
+        return self.extra.get("data_plane")
+
+    @property
     def measured_seconds(self) -> float | None:
         t = self.telemetry
         return t.total if t is not None else None

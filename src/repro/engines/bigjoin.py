@@ -81,11 +81,12 @@ class BigJoin:
                                        telemetry=telemetry)
             merged = merge_task_results(results, len(order),
                                         budget=self.work_budget)
-            data_plane = dict(transport.stats.as_dict(),
-                              transport=transport.name)
-            return merged, data_plane
         finally:
             transport.teardown()
+        # Post-teardown snapshot: includes blocks freed / bytes fetched.
+        data_plane = dict(transport.last_epoch.as_dict(),
+                          transport=transport.name)
+        return merged, data_plane
 
     def run(self, query: JoinQuery, db: Database, cluster: Cluster,
             executor: Executor | None = None) -> EngineResult:

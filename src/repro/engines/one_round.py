@@ -132,15 +132,18 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
             results = run_worker_tasks(executor, tasks, telemetry=telemetry)
             merged = merge_task_results(results, len(order),
                                         budget=work_budget)
-            data_plane = dict(transport.stats.as_dict(),
-                              transport=transport.name)
-            data_plane_stats = ShuffleStats(
-                tuple_copies=routing.stats.tuple_copies,
-                blocks_fetched=transport.stats.shipped_refs,
-                bytes_copied=transport.stats.shipped_bytes,
-                max_worker_tuples=routing.stats.max_worker_tuples)
         finally:
             transport.teardown()
+        # Read the epoch snapshot *after* teardown so the report includes
+        # teardown-time counters (blocks freed, bytes workers fetched
+        # back out of a tcp block store).
+        epoch = transport.last_epoch
+        data_plane = dict(epoch.as_dict(), transport=transport.name)
+        data_plane_stats = ShuffleStats(
+            tuple_copies=routing.stats.tuple_copies,
+            blocks_fetched=epoch.shipped_refs,
+            bytes_copied=epoch.shipped_bytes,
+            max_worker_tuples=routing.stats.max_worker_tuples)
         worker_work = {w: 0.0 for w in range(cluster.num_workers)}
         worker_work.update(merged.worker_work)
         ledger.charge_worker_work(worker_work, phase="computation")

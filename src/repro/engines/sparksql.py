@@ -86,10 +86,12 @@ class SparkSQLJoin:
             t1 = time.perf_counter()
             joined = executor.map_tasks(join_partition_pair_task, tasks)
             telemetry.record("local_join", time.perf_counter() - t1)
-            for k, v in transport.stats.as_dict().items():
-                data_plane[k] = data_plane.get(k, 0) + v
         finally:
             transport.teardown()
+        # Each step is one epoch; sum the post-teardown snapshots so the
+        # run's report includes blocks freed / bytes fetched per step.
+        for k, v in transport.last_epoch.as_dict().items():
+            data_plane[k] = data_plane.get(k, 0) + v
         out_attrs = current.attributes + tuple(
             a for a in right.attributes if a not in common)
         out_name = f"({current.name}><{right.name})"

@@ -87,10 +87,11 @@ class YannakakisJoin:
             t1 = time.perf_counter()
             results = executor.map_tasks(materialize_bag_task, tasks)
             telemetry.record("precompute", time.perf_counter() - t1)
-            data_plane = dict(transport.stats.as_dict(),
-                              transport=transport.name)
         finally:
             transport.teardown()
+        # Post-teardown snapshot: includes blocks freed / bytes fetched.
+        data_plane = dict(transport.last_epoch.as_dict(),
+                          transport=transport.name)
         bags: dict[int, Relation] = {}
         for res in results:
             if res.failure == "crash":

@@ -76,6 +76,30 @@ class WorkerCrashed(ReproError):
         super().__init__(f"worker {worker} crashed: {reason}")
 
 
+class NetError(ReproError):
+    """A :mod:`repro.net` wire-protocol operation failed.
+
+    Raised for truncated/oversized frames, protocol-version mismatches,
+    and error replies from a block store or worker agent.  Plain socket
+    failures (``OSError``) are *not* converted — callers that need to
+    distinguish "the peer said no" from "the peer is gone" can.
+    """
+
+
+class BlockNotFound(NetError):
+    """A block-store GET or FREE named a block the store does not hold.
+
+    Covers both never-published ids and double-frees — the store refuses
+    rather than silently ignoring either, so lifetime bugs surface at
+    the call site instead of as wrong answers later.
+    """
+
+    def __init__(self, block: str, detail: str = ""):
+        self.block = block
+        msg = f"block {block!r} is not in the store"
+        super().__init__(f"{msg} ({detail})" if detail else msg)
+
+
 class BudgetExceeded(ReproError):
     """An engine exceeded its work budget.
 

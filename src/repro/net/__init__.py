@@ -1,0 +1,56 @@
+"""repro.net — the multi-machine data plane and cluster protocol.
+
+Everything the single-host runtime (:mod:`repro.runtime`) needs to span
+real machines, behind the seams that already exist:
+
+- :mod:`repro.net.protocol` — length-prefixed binary frames (one wire
+  format for every service) and the threaded :class:`FrameServer` base;
+- :mod:`repro.net.blockstore` — a TCP block store the coordinator
+  publishes routed column blocks into (PUT/GET/LIST/FREE/STAT), plus
+  the worker-side cached fetch;
+- :mod:`repro.net.transport` — :class:`TcpTransport`, the ``tcp`` entry
+  in the transport registry: descriptors carry ``(host, port,
+  block_id, dtype, shape, rows)`` so remote workers fetch and slice
+  their own partitions;
+- :mod:`repro.net.agent` — the :class:`WorkerAgent` behind ``python -m
+  repro serve``: HELLO handshake, PING heartbeats, pickled TASK frames;
+- :mod:`repro.net.executor` — :class:`RemoteExecutor`, the ``remote``
+  runtime backend driving a mixed local+remote cluster from
+  ``RunConfig.hosts`` / ``REPRO_HOSTS``.
+
+See docs/net.md for the wire protocol, the handshake and the failure
+semantics, and README.md for a two-terminal loopback walkthrough.
+"""
+
+from .agent import WorkerAgent
+from .blockstore import (
+    BlockStoreClient,
+    BlockStoreServer,
+    BlockStoreStats,
+    fetch_block_array,
+)
+from .executor import (
+    HOSTS_ENV_VAR,
+    HostSpec,
+    RemoteExecutor,
+    default_hosts,
+    parse_host_specs,
+)
+from .protocol import PROTOCOL_VERSION, FrameServer
+from .transport import TcpTransport
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FrameServer",
+    "BlockStoreServer",
+    "BlockStoreClient",
+    "BlockStoreStats",
+    "fetch_block_array",
+    "TcpTransport",
+    "WorkerAgent",
+    "RemoteExecutor",
+    "HostSpec",
+    "parse_host_specs",
+    "default_hosts",
+    "HOSTS_ENV_VAR",
+]

@@ -1,0 +1,141 @@
+"""Worker agent: one long-lived process per worker host.
+
+``python -m repro serve --port N`` stands one of these up.  A
+coordinator (the :class:`~repro.net.executor.RemoteExecutor` behind
+``backend="remote"``) dials in, performs the HELLO handshake — protocol
+version, advertised worker ``slots``, pid — and then streams TASK
+frames: pickled ``(task_function, task)`` pairs, the exact objects the
+process backend would ship to a local pool.  Task payload arrays arrive
+as descriptors (under the ``tcp`` transport), so the agent fetches its
+partitions from the coordinator's block store itself; the task frame
+stays descriptor-only.
+
+Concurrency model: the agent serves each connection on its own thread,
+and the coordinator opens one task connection per advertised slot — so
+per-host parallelism is exactly the slot count, with no queueing logic
+on the agent.  Task *execution* happens on a ``slots``-wide process
+pool (spawn context — the agent process itself is multi-threaded), so
+CPU-bound Leapfrog work actually uses the host's cores instead of being
+GIL-serialized; ``mode="inline"`` keeps execution on the connection
+thread for debugging and cheap tests.  An agent outlives coordinator
+sessions: BYE (or a dropped connection) ends one session's connection,
+the listener keeps serving the next session.
+
+Failure contract: a task function that raises is answered with an ERR
+frame (type name + message) — the agent thread never dies, and the
+coordinator converts the ERR into :class:`~repro.errors.WorkerCrashed`.
+The same trust model as ``multiprocessing`` applies: TASK frames are
+unpickled, so only bind to interfaces you trust (see docs/net.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+from concurrent.futures.process import BrokenProcessPool
+
+from ..errors import ConfigError
+from ..runtime.executor import available_parallelism
+from .protocol import (
+    OP_BYE,
+    OP_DATA,
+    OP_ERR,
+    OP_HELLO,
+    OP_OK,
+    OP_PING,
+    OP_TASK,
+    PROTOCOL_VERSION,
+    FrameServer,
+    send_frame,
+)
+
+__all__ = ["WorkerAgent"]
+
+
+class WorkerAgent(FrameServer):
+    """Serves HELLO/PING/TASK/BYE; executes tasks on a process pool."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 slots: int | None = None, mode: str = "processes"):
+        super().__init__(host, port)
+        #: Task slots this host advertises (the coordinator opens this
+        #: many task connections).  Defaults to the usable CPU count.
+        self.slots = int(slots) if slots else available_parallelism()
+        if mode not in ("processes", "inline"):
+            raise ConfigError(f"unknown agent mode {mode!r}; "
+                              f"choose from ('processes', 'inline')")
+        self.mode = mode
+        self.tasks_run = 0
+        self.tasks_failed = 0
+        self._counter_lock = threading.Lock()
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+    def _run_task(self, fn, task):
+        if self.mode == "inline":
+            return fn(task)
+        with self._pool_lock:
+            if self._pool is None:
+                # Spawn, not fork: the agent process is multi-threaded
+                # (one serving thread per connection), and forking a
+                # threaded process is unsafe / deprecated on 3.12+.
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.slots,
+                    mp_context=multiprocessing.get_context("spawn"))
+            pool = self._pool
+        try:
+            return pool.submit(fn, task).result()
+        except BrokenProcessPool:
+            # A dead pool worker breaks the whole pool; replace it so
+            # the next task gets a fresh one, then report the failure.
+            with self._pool_lock:
+                if self._pool is pool:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool = None
+            raise
+
+    def stop(self) -> None:
+        super().stop()
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def handle(self, sock: socket.socket, op: int, meta: dict,
+               payload: bytes) -> bool:
+        if op == OP_HELLO:
+            send_frame(sock, OP_OK, {"version": PROTOCOL_VERSION,
+                                     "service": "worker-agent",
+                                     "slots": self.slots,
+                                     "pid": os.getpid()})
+        elif op == OP_PING:
+            send_frame(sock, OP_OK, {"pid": os.getpid()})
+        elif op == OP_TASK:
+            try:
+                fn, task = pickle.loads(payload)
+                result = self._run_task(fn, task)
+                reply = pickle.dumps(result,
+                                     protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                with self._counter_lock:
+                    self.tasks_failed += 1
+                send_frame(sock, OP_ERR, {"error": type(exc).__name__,
+                                          "message": str(exc)})
+            else:
+                with self._counter_lock:
+                    self.tasks_run += 1
+                send_frame(sock, OP_DATA, {}, reply)
+        elif op == OP_BYE:
+            send_frame(sock, OP_OK, {})
+            return False
+        else:
+            send_frame(sock, OP_ERR,
+                       {"error": "unknown-op",
+                        "message": f"opcode {op} is not a worker-agent "
+                                   f"op"})
+        return True

@@ -1,0 +1,269 @@
+"""TCP block store: the staging area of the multi-machine data plane.
+
+The coordinator PUTs routed column blocks once; workers — local or on
+other machines — GET the blocks they were handed descriptors for and
+slice their own partitions.  That keeps task payloads descriptor-only
+(the HCube design goal) even when no shared memory exists between
+coordinator and worker.
+
+Ops (see :mod:`repro.net.protocol` for the frame format):
+
+- ``PUT  {block, dtype, shape} + bytes`` — stage a block; duplicate ids
+  are refused (block ids are single-assignment within an epoch).
+- ``GET  {block}`` — fetch a staged block; unknown ids are refused
+  (:class:`~repro.errors.BlockNotFound`), never answered with garbage.
+- ``LIST`` — ids and sizes of everything currently held.
+- ``FREE {block}`` — release one block; double-frees are refused.
+- ``STAT`` — server-side counters (puts/gets/frees, bytes in/out), the
+  source of the per-run ``fetched_bytes`` a coordinator reports.
+- ``PING`` / ``BYE`` — liveness and polite disconnect.
+
+The server handles clients concurrently (one thread per connection,
+store guarded by a lock) and ``stop()`` closes every socket — a stopped
+store leaves no listening port.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NetError
+from .protocol import (
+    OP_BYE,
+    OP_DATA,
+    OP_ERR,
+    OP_FREE,
+    OP_GET,
+    OP_HELLO,
+    OP_LIST,
+    OP_OK,
+    OP_PING,
+    OP_PUT,
+    OP_STAT,
+    PROTOCOL_VERSION,
+    FrameServer,
+    connect,
+    request,
+    send_frame,
+)
+
+__all__ = ["BlockStoreStats", "BlockStoreServer", "BlockStoreClient",
+           "fetch_block_array", "clear_fetch_cache"]
+
+
+@dataclass
+class BlockStoreStats:
+    """What one store moved, from the server's view."""
+
+    puts: int = 0
+    gets: int = 0
+    frees: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"puts": self.puts, "gets": self.gets, "frees": self.frees,
+                "bytes_in": self.bytes_in, "bytes_out": self.bytes_out}
+
+
+class BlockStoreServer(FrameServer):
+    """Concurrent in-memory block server for routed column blocks."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        super().__init__(host, port)
+        # block id -> (bytes, dtype str, shape tuple)
+        self._blocks: dict[str, tuple[bytes, str, tuple[int, ...]]] = {}
+        self._store_lock = threading.Lock()
+        self.stats = BlockStoreStats()
+
+    @property
+    def blocks(self) -> tuple[str, ...]:
+        with self._store_lock:
+            return tuple(self._blocks)
+
+    def handle(self, sock: socket.socket, op: int, meta: dict,
+               payload: bytes) -> bool:
+        if op == OP_PUT:
+            block = meta["block"]
+            with self._store_lock:
+                if block in self._blocks:
+                    send_frame(sock, OP_ERR,
+                               {"error": "exists", "block": block,
+                                "message": f"block {block!r} was already "
+                                           f"put; ids are single-use"})
+                    return True
+                self._blocks[block] = (payload, meta["dtype"],
+                                       tuple(meta["shape"]))
+                self.stats.puts += 1
+                self.stats.bytes_in += len(payload)
+            send_frame(sock, OP_OK, {"block": block})
+        elif op == OP_GET:
+            block = meta["block"]
+            with self._store_lock:
+                entry = self._blocks.get(block)
+                if entry is not None:
+                    self.stats.gets += 1
+                    self.stats.bytes_out += len(entry[0])
+            if entry is None:
+                send_frame(sock, OP_ERR,
+                           {"error": "not-found", "block": block,
+                            "message": "never put, or already freed"})
+            else:
+                data, dtype, shape = entry
+                send_frame(sock, OP_DATA,
+                           {"block": block, "dtype": dtype,
+                            "shape": list(shape)}, data)
+        elif op == OP_LIST:
+            with self._store_lock:
+                listing = {b: len(e[0]) for b, e in self._blocks.items()}
+            send_frame(sock, OP_OK, {"blocks": listing})
+        elif op == OP_FREE:
+            block = meta["block"]
+            with self._store_lock:
+                entry = self._blocks.pop(block, None)
+                if entry is not None:
+                    self.stats.frees += 1
+            if entry is None:
+                send_frame(sock, OP_ERR,
+                           {"error": "not-found", "block": block,
+                            "message": "double-free or never put"})
+            else:
+                send_frame(sock, OP_OK, {"block": block})
+        elif op == OP_STAT:
+            with self._store_lock:
+                stat = dict(self.stats.as_dict(),
+                            blocks_held=len(self._blocks))
+            send_frame(sock, OP_OK, stat)
+        elif op in (OP_PING, OP_HELLO):
+            send_frame(sock, OP_OK, {"version": PROTOCOL_VERSION,
+                                     "service": "blockstore"})
+        elif op == OP_BYE:
+            send_frame(sock, OP_OK, {})
+            return False
+        else:
+            send_frame(sock, OP_ERR,
+                       {"error": "unknown-op",
+                        "message": f"opcode {op} is not a block store op"})
+        return True
+
+
+class BlockStoreClient:
+    """One connection to a block store; methods mirror the ops."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float | None = 10.0):
+        self.host = host
+        self.port = port
+        self._sock = connect(host, port, timeout=timeout)
+
+    def put(self, block: str, array: np.ndarray) -> None:
+        arr = np.ascontiguousarray(array)
+        request(self._sock, OP_PUT,
+                {"block": block, "dtype": str(arr.dtype),
+                 "shape": list(arr.shape)}, arr.tobytes())
+
+    def get(self, block: str) -> np.ndarray:
+        _op, meta, payload = request(self._sock, OP_GET, {"block": block})
+        arr = np.frombuffer(payload, dtype=np.dtype(meta["dtype"]))
+        return arr.reshape(tuple(meta["shape"]))   # read-only view
+
+    def list(self) -> dict[str, int]:
+        _op, meta, _ = request(self._sock, OP_LIST)
+        return meta["blocks"]
+
+    def free(self, block: str) -> None:
+        request(self._sock, OP_FREE, {"block": block})
+
+    def stat(self) -> dict[str, int]:
+        _op, meta, _ = request(self._sock, OP_STAT)
+        return meta
+
+    def ping(self) -> bool:
+        op, _meta, _ = request(self._sock, OP_PING)
+        return op == OP_OK
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                send_frame(sock, OP_BYE)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "BlockStoreClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- worker-side cached fetch -------------------------------------------------
+
+#: Blocks a worker process keeps around between descriptor resolutions.
+#: One WorkerTask carries a ref per (atom, cube), so the same source
+#: block is typically resolved many times — the cache turns that into
+#: one GET per block per worker process.  Block ids embed a per-epoch
+#: uuid (see TcpTransport.publish), so stale entries can never be
+#: requested again and FIFO eviction is safe.  The cap is in *bytes*
+#: (REPRO_NET_CACHE_BYTES, default 256 MiB): long-lived worker
+#: processes see a fresh set of block ids every epoch, so an
+#: entry-count cap would let large dead blocks pile up indefinitely.
+_FETCH_CACHE_MAX_BYTES = int(float(os.environ.get(
+    "REPRO_NET_CACHE_BYTES", 256 * 1024 * 1024)))
+_fetch_cache: OrderedDict[tuple[str, int, str], np.ndarray] = OrderedDict()
+_fetch_cache_bytes = 0
+_fetch_lock = threading.Lock()
+
+
+def clear_fetch_cache() -> None:
+    """Drop every cached block (tests / long-lived agents)."""
+    global _fetch_cache_bytes
+    with _fetch_lock:
+        _fetch_cache.clear()
+        _fetch_cache_bytes = 0
+
+
+def fetch_block_array(host: str, port: int, block: str, *,
+                      shape: tuple[int, ...] | None = None,
+                      dtype: np.dtype | None = None) -> np.ndarray:
+    """GET ``block`` from the store at ``(host, port)``, with caching.
+
+    Returns a read-only array (callers slice or copy — exactly what
+    :func:`repro.runtime.transport.resolve_array_ref` does).  ``shape``
+    and ``dtype`` are cross-checked against the server's metadata when
+    given: a mismatch means the descriptor and the store disagree, which
+    is a protocol bug worth failing loudly on.
+    """
+    global _fetch_cache_bytes
+    key = (host, port, block)
+    with _fetch_lock:
+        cached = _fetch_cache.get(key)
+    if cached is None:
+        with BlockStoreClient(host, port) as client:
+            cached = client.get(block)
+        if cached.nbytes <= _FETCH_CACHE_MAX_BYTES:
+            with _fetch_lock:
+                if key not in _fetch_cache:
+                    _fetch_cache[key] = cached
+                    _fetch_cache_bytes += cached.nbytes
+                while _fetch_cache_bytes > _FETCH_CACHE_MAX_BYTES \
+                        and len(_fetch_cache) > 1:
+                    _, evicted = _fetch_cache.popitem(last=False)
+                    _fetch_cache_bytes -= evicted.nbytes
+    if shape is not None and tuple(cached.shape) != tuple(shape):
+        raise NetError(f"block {block!r}: descriptor shape {tuple(shape)} "
+                       f"!= stored shape {tuple(cached.shape)}")
+    if dtype is not None and cached.dtype != np.dtype(dtype):
+        raise NetError(f"block {block!r}: descriptor dtype {dtype} "
+                       f"!= stored dtype {cached.dtype}")
+    return cached

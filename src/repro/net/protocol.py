@@ -1,0 +1,281 @@
+"""Length-prefixed binary frames: the one wire format of repro.net.
+
+Every message between a coordinator and a block store or worker agent is
+one frame::
+
+    u32  length     (big-endian; bytes that follow, excluding itself)
+    u8   opcode     (one of the OP_* constants)
+    u32  meta_len
+    ...  meta       (UTF-8 JSON object: ids, dtypes, shapes, counters)
+    ...  payload    (raw bytes: array data or pickled tasks/results)
+
+JSON meta keeps the protocol debuggable (``tcpdump`` shows readable
+headers) while payloads stay raw — array bytes are never base64'd or
+pickled twice.  Frames are capped at :data:`MAX_FRAME_BYTES` so a
+corrupt length prefix fails loudly instead of attempting a huge read.
+
+Request opcodes: HELLO (handshake), PING (heartbeat), PUT/GET/LIST/FREE
+/STAT (block store), TASK (worker agent), BYE (end of session).
+Response opcodes: OK (meta only), DATA (meta + payload), ERR (meta
+carries ``error`` and ``message``).
+
+:class:`FrameServer` is the tiny threaded TCP server both the
+:class:`~repro.net.blockstore.BlockStoreServer` and the
+:class:`~repro.net.agent.WorkerAgent` build on: one accept loop, one
+thread per client connection, ``stop()`` closes every socket.
+
+Trust model: TASK payloads are unpickled by the agent, exactly like
+Python's own ``multiprocessing`` workers.  repro.net is a data plane for
+a cluster you own, not a service to expose to untrusted networks — bind
+to loopback or a private interface (the default bind host is
+``127.0.0.1``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+from ..errors import BlockNotFound, NetError
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
+    "OP_HELLO", "OP_PING", "OP_PUT", "OP_GET", "OP_LIST", "OP_FREE",
+    "OP_STAT", "OP_TASK", "OP_BYE", "OP_OK", "OP_DATA", "OP_ERR",
+    "send_frame", "recv_frame", "request", "connect", "FrameServer",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (1 GiB) — far above any block this
+#: reproduction ships, low enough to reject garbage length prefixes.
+MAX_FRAME_BYTES = 1 << 30
+
+OP_HELLO = 1
+OP_PING = 2
+OP_PUT = 3
+OP_GET = 4
+OP_LIST = 5
+OP_FREE = 6
+OP_STAT = 7
+OP_TASK = 8
+OP_BYE = 9
+OP_OK = 64
+OP_DATA = 65
+OP_ERR = 66
+
+_PREFIX = struct.Struct("!I")
+_HEADER = struct.Struct("!BI")        # opcode, meta_len
+
+
+def send_frame(sock: socket.socket, op: int, meta: dict | None = None,
+               payload: bytes = b"") -> None:
+    """Serialize and send one frame (single ``sendall`` per part)."""
+    meta_bytes = json.dumps(meta or {}, separators=(",", ":")).encode()
+    length = _HEADER.size + len(meta_bytes) + len(payload)
+    if length > MAX_FRAME_BYTES:
+        raise NetError(f"frame of {length} bytes exceeds the "
+                       f"{MAX_FRAME_BYTES}-byte cap")
+    sock.sendall(_PREFIX.pack(length) + _HEADER.pack(op, len(meta_bytes))
+                 + meta_bytes)
+    if payload:
+        sock.sendall(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes; EOFError on clean close at offset 0."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                raise EOFError("connection closed")
+            raise NetError(f"truncated frame: peer closed with "
+                           f"{remaining} of {n} bytes missing")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, dict, bytes]:
+    """Read one frame; ``EOFError`` on clean close between frames."""
+    (length,) = _PREFIX.unpack(_recv_exact(sock, _PREFIX.size))
+    if not _HEADER.size <= length <= MAX_FRAME_BYTES:
+        raise NetError(f"invalid frame length {length}")
+    body = _recv_exact(sock, length)
+    op, meta_len = _HEADER.unpack_from(body)
+    if _HEADER.size + meta_len > length:
+        raise NetError("invalid frame: meta_len exceeds frame length")
+    meta_bytes = body[_HEADER.size:_HEADER.size + meta_len]
+    try:
+        meta = json.loads(meta_bytes) if meta_len else {}
+    except ValueError as exc:
+        raise NetError(f"invalid frame meta: {exc}") from None
+    return op, meta, body[_HEADER.size + meta_len:]
+
+
+def request(sock: socket.socket, op: int, meta: dict | None = None,
+            payload: bytes = b"") -> tuple[int, dict, bytes]:
+    """One request/response round-trip; ERR replies raise.
+
+    ``error == "not-found"`` maps to :class:`BlockNotFound`; every other
+    ERR becomes a :class:`NetError` carrying the peer's message.
+    """
+    send_frame(sock, op, meta, payload)
+    reply_op, reply_meta, reply_payload = recv_frame(sock)
+    if reply_op == OP_ERR:
+        error = reply_meta.get("error", "error")
+        message = reply_meta.get("message", "")
+        if error == "not-found":
+            raise BlockNotFound(reply_meta.get("block", "?"), message)
+        raise NetError(f"{error}: {message}")
+    return reply_op, reply_meta, reply_payload
+
+
+def connect(host: str, port: int, timeout: float | None = 10.0
+            ) -> socket.socket:
+    """A connected TCP socket with small-frame latency disabled."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+class FrameServer:
+    """Threaded TCP server speaking the frame protocol.
+
+    Subclasses implement ``handle(sock, op, meta, payload) -> bool``
+    (return False to end that client's connection).  ``port=0`` binds an
+    ephemeral port — read the real one from :attr:`port` after
+    :meth:`start`.  ``stop()`` closes the listener and every client
+    socket, so serving threads (all daemonic) unblock and exit; it is
+    idempotent and leaves no listening port behind.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._clients: set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FrameServer":
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._stopped.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"{type(self).__name__}-accept")
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._listener is not None and not self._stopped.is_set()
+
+    def stop(self) -> None:
+        self._stopped.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            # close() alone does not wake a thread blocked in accept()
+            # (the kernel keeps the listening socket alive until accept
+            # returns, so the port would stay open).  A dummy connect
+            # deterministically unblocks it first.
+            dial = "127.0.0.1" if self.host == "0.0.0.0" else self.host
+            try:
+                socket.create_connection((dial, self.port),
+                                         timeout=0.5).close()
+            except OSError:
+                pass
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - close() rarely fails
+                pass
+        with self._lock:
+            clients, self._clients = set(self._clients), set()
+        for sock in clients:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        thread, self._accept_thread = self._accept_thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FrameServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- serving -------------------------------------------------------------
+
+    def handle(self, sock: socket.socket, op: int, meta: dict,
+               payload: bytes) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopped.is_set() and listener is not None:
+            try:
+                sock, _addr = listener.accept()
+            except OSError:      # listener closed by stop()
+                return
+            if self._stopped.is_set():   # the stop() wake-up connect
+                sock.close()
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._clients.add(sock)
+            threading.Thread(target=self._client_loop, args=(sock,),
+                             daemon=True,
+                             name=f"{type(self).__name__}-client").start()
+
+    def _client_loop(self, sock: socket.socket) -> None:
+        try:
+            while not self._stopped.is_set():
+                try:
+                    op, meta, payload = recv_frame(sock)
+                except (EOFError, OSError, NetError):
+                    return
+                try:
+                    keep_going = self.handle(sock, op, meta, payload)
+                except (BrokenPipeError, ConnectionError):
+                    return
+                except Exception as exc:   # never kill the serving thread
+                    try:
+                        send_frame(sock, OP_ERR,
+                                   {"error": type(exc).__name__,
+                                    "message": str(exc)})
+                    except OSError:
+                        return
+                    continue
+                if not keep_going:
+                    return
+        finally:
+            with self._lock:
+                self._clients.discard(sock)
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass

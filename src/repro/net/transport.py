@@ -1,0 +1,179 @@
+"""TcpTransport: the multi-machine data plane behind the Transport seam.
+
+Implements :class:`repro.runtime.transport.Transport` so the scheduler,
+the engines and the executors need zero protocol changes: ``publish``
+PUTs each source array into a :class:`~repro.net.blockstore.BlockStore
+Server` (owned by this transport by default, or an external one shared
+by several coordinators), and ``make_ref`` mints descriptors carrying
+``(host, port, block_id, dtype, shape, rows)`` — workers anywhere fetch
+the block over TCP and slice their own partitions.
+
+Epoch lifecycle (mirrors the shm rules in docs/data_plane.md):
+
+- ``publish`` lazily stands the store up (or connects to the external
+  one) and stages each key exactly once under a fresh uuid-suffixed
+  block id — ids are single-use, so worker-side fetch caches can never
+  serve a stale epoch.
+- ``teardown`` collects the server's GET counters into
+  ``stats.fetched_blocks``/``fetched_bytes`` (what workers physically
+  pulled — accounted to the block store, not the task payload), FREEs
+  every published block, closes the client socket, and stops the owned
+  server.  It is idempotent, robust against a store that already died,
+  and leaves no listening port behind.
+
+Addressing: the store binds ``bind_host`` (default ``127.0.0.1``;
+``REPRO_BIND_HOST`` or ``0.0.0.0`` for real multi-machine runs) and
+descriptors advertise ``advertise_host`` (``REPRO_ADVERTISE_HOST``) —
+the address *workers* should dial, which differs from the bind address
+exactly when binding a wildcard interface.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+
+import numpy as np
+
+from ..errors import BlockNotFound, NetError
+from ..runtime.transport import ArrayRef, Transport
+from .blockstore import BlockStoreClient, BlockStoreServer
+
+__all__ = ["TcpTransport", "BIND_HOST_ENV_VAR", "ADVERTISE_HOST_ENV_VAR"]
+
+BIND_HOST_ENV_VAR = "REPRO_BIND_HOST"
+ADVERTISE_HOST_ENV_VAR = "REPRO_ADVERTISE_HOST"
+
+
+def _parse_addr(store) -> tuple[str, int] | None:
+    if store is None:
+        return None
+    if isinstance(store, str):
+        host, _, port = store.rpartition(":")
+        return (host, int(port))
+    host, port = store
+    return (str(host), int(port))
+
+
+class TcpTransport(Transport):
+    """Sources live in a TCP block store; refs carry (host, port, id)."""
+
+    name = "tcp"
+
+    def __init__(self, store: "str | tuple[str, int] | None" = None,
+                 bind_host: str | None = None,
+                 advertise_host: str | None = None):
+        super().__init__()
+        #: External store address; None means this transport owns one.
+        self._external = _parse_addr(store)
+        self._bind_host = bind_host or os.environ.get(
+            BIND_HOST_ENV_VAR, "127.0.0.1")
+        self._advertise = advertise_host or os.environ.get(
+            ADVERTISE_HOST_ENV_VAR)
+        self._server: BlockStoreServer | None = None
+        self._client: BlockStoreClient | None = None
+        self._addr: tuple[str, int] | None = None
+        #: Server GET counters at connect time — an external store is
+        #: shared and monotonic, so per-epoch fetch stats are deltas.
+        self._stat_base: tuple[int, int] = (0, 0)
+        # key -> (block id | None for empty arrays, shape, dtype)
+        self._meta: dict[str, tuple[str | None, tuple[int, ...], str]] = {}
+
+    @property
+    def store_address(self) -> tuple[str, int] | None:
+        """(host, port) workers dial this epoch; None when torn down."""
+        return self._addr
+
+    # -- epoch lifecycle -----------------------------------------------------
+
+    def setup(self) -> None:
+        self._ensure_store()
+
+    def _ensure_store(self) -> BlockStoreClient:
+        if self._client is not None:
+            return self._client
+        if self._external is not None:
+            self._addr = self._external
+        else:
+            self._server = BlockStoreServer(host=self._bind_host)
+            self._server.start()
+            host = self._advertise
+            if host is None:
+                # A wildcard bind is unreachable as a dial address.
+                host = ("127.0.0.1" if self._bind_host == "0.0.0.0"
+                        else self._bind_host)
+            self._addr = (host, self._server.port)
+        self._client = BlockStoreClient(*self._addr)
+        if self._external is not None:
+            try:
+                stat = self._client.stat()
+                self._stat_base = (int(stat.get("gets", 0)),
+                                   int(stat.get("bytes_out", 0)))
+            except (NetError, OSError, EOFError):  # pragma: no cover
+                self._stat_base = (0, 0)
+        else:
+            self._stat_base = (0, 0)
+        return self._client
+
+    def publish(self, key: str, array: np.ndarray) -> str:
+        if key in self._meta:
+            return key
+        client = self._ensure_store()
+        arr = np.ascontiguousarray(array)
+        if arr.nbytes == 0:
+            # Empty arrays ship as (tiny) inline refs, like shm.
+            self._meta[key] = (None, tuple(arr.shape), str(arr.dtype))
+            return key
+        block = f"{key}@{uuid.uuid4().hex[:12]}"
+        client.put(block, arr)
+        self._meta[key] = (block, tuple(arr.shape), str(arr.dtype))
+        self.stats.published_blocks += 1
+        self.stats.published_bytes += int(arr.nbytes)
+        return key
+
+    def make_ref(self, key: str, rows: np.ndarray | None = None
+                 ) -> ArrayRef:
+        block, shape, dtype = self._meta[key]
+        rows = self._normalize_rows(rows)
+        if block is None or (rows is not None and rows.shape[0] == 0):
+            empty_shape = ((0,) + shape[1:]) if rows is not None else shape
+            ref = ArrayRef(kind="inline", shape=empty_shape, dtype=dtype,
+                           data=np.empty(empty_shape, dtype=np.dtype(dtype)))
+        else:
+            host, port = self._addr
+            ref = ArrayRef(kind="tcp", shape=shape, dtype=dtype,
+                           block=block, rows=rows, host=host, port=port)
+        return self._record_shipped(ref)
+
+    def teardown(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                stat = client.stat()
+                # Coordinator-side traffic is PUT-only, so the server's
+                # GET counters (relative to the connect-time baseline)
+                # are exactly what workers fetched this epoch.
+                self.stats.fetched_blocks += max(
+                    0, int(stat.get("gets", 0)) - self._stat_base[0])
+                self.stats.fetched_bytes += max(
+                    0, int(stat.get("bytes_out", 0)) - self._stat_base[1])
+                for block, _shape, _dtype in self._meta.values():
+                    if block is None:
+                        continue
+                    try:
+                        client.free(block)
+                        self.stats.freed_blocks += 1
+                    except BlockNotFound:  # pragma: no cover - freed twice
+                        pass
+            except (NetError, OSError, EOFError):
+                # The store died (or an external one vanished) — there
+                # is nothing left to free; still stop our server below.
+                pass
+            finally:
+                client.close()
+        server, self._server = self._server, None
+        if server is not None:
+            server.stop()
+        self._addr = None
+        self._meta.clear()
+        super().teardown()

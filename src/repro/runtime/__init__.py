@@ -2,9 +2,10 @@
 
 The rest of the library *models* a distributed cluster (cost ledgers,
 simulated shuffles).  This subsystem adds the missing execution
-substrate: an :class:`Executor` abstraction with ``serial``, ``threads``
-and ``processes`` backends, a pluggable data-plane :class:`Transport`
-(``pickle`` payloads or zero-copy ``shm`` descriptors), a scheduler that
+substrate: an :class:`Executor` abstraction with ``serial``, ``threads``,
+``processes`` and ``remote`` (:mod:`repro.net`) backends, a pluggable
+data-plane :class:`Transport` (``pickle`` payloads, zero-copy ``shm``
+descriptors, or multi-machine ``tcp`` block refs), a scheduler that
 turns HCube routing assignments into per-worker :class:`WorkerTask`
 batches, spawn-safe worker task functions, and wall-clock telemetry
 recorded next to the modeled cost breakdowns.
@@ -19,6 +20,7 @@ from .executor import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    available_backends,
     available_parallelism,
     create_executor,
     executor_for,
@@ -37,8 +39,10 @@ from .transport import (
     SharedMemoryTransport,
     Transport,
     TransportStats,
+    available_transports,
     create_transport,
     default_transport_name,
+    register_transport,
     resolve_array_ref,
 )
 from .worker import (
@@ -58,6 +62,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "available_backends",
     "available_parallelism",
     "create_executor",
     "executor_for",
@@ -73,8 +78,10 @@ __all__ = [
     "TransportStats",
     "PickleTransport",
     "SharedMemoryTransport",
+    "available_transports",
     "create_transport",
     "default_transport_name",
+    "register_transport",
     "resolve_array_ref",
     "BagTask",
     "BagTaskResult",

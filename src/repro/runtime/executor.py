@@ -46,6 +46,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "available_backends",
     "create_executor",
     "executor_for",
     "available_parallelism",
@@ -234,35 +235,58 @@ _BACKENDS: dict[str, type[Executor]] = {
     "processes": ProcessExecutor,
 }
 
+#: Backends resolved on first use, so importing the runtime never pulls
+#: in :mod:`repro.net` (and its sockets).
+_LAZY_BACKENDS: dict[str, tuple[str, str]] = {
+    "remote": ("repro.net.executor", "RemoteExecutor"),
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered executor backend names."""
+    return (*_BACKENDS, *_LAZY_BACKENDS)
+
 
 def create_executor(backend: str, max_workers: int | None = None,
                     transport: "Transport | str | None" = None,
                     **kwargs) -> Executor:
-    """Instantiate a backend by name (``serial``/``threads``/``processes``).
+    """Instantiate a backend by name
+    (``serial``/``threads``/``processes``/``remote``).
 
     ``transport`` names (or supplies) the data plane; ``None`` defers to
-    ``REPRO_TRANSPORT`` at first use.
+    ``REPRO_TRANSPORT`` at first use (the ``remote`` backend defaults to
+    ``tcp`` instead).
     """
-    try:
-        cls = _BACKENDS[backend]
-    except KeyError:
+    cls = _BACKENDS.get(backend)
+    if cls is None and backend in _LAZY_BACKENDS:
+        import importlib
+
+        module, attr = _LAZY_BACKENDS[backend]
+        cls = getattr(importlib.import_module(module), attr)
+    if cls is None:
         raise ConfigError(
             f"unknown runtime backend {backend!r}; "
-            f"choose from {tuple(_BACKENDS)}") from None
+            f"choose from {available_backends()}")
     if cls is SerialExecutor:
         return cls(max_workers, transport=transport)
     return cls(max_workers, transport=transport, **kwargs)
 
 
 def executor_for(cluster,
-                 transport: "Transport | str | None" = None) -> Executor:
+                 transport: "Transport | str | None" = None,
+                 hosts=None) -> Executor:
     """Executor matching a :class:`repro.distributed.Cluster`'s hint.
 
     The pool size is the cluster's worker count capped at the CPUs the
     process may use — more processes than cores only adds contention.
+    The ``remote`` backend is not capped (its parallelism is the slots
+    the worker ``hosts`` advertise, not this machine's cores).
     """
     workers = cluster.num_workers
+    kwargs = {}
     if cluster.runtime == "processes":
         workers = min(workers, available_parallelism())
+    if cluster.runtime == "remote":
+        kwargs["hosts"] = hosts
     return create_executor(cluster.runtime, max_workers=workers,
-                           transport=transport)
+                           transport=transport, **kwargs)

@@ -12,7 +12,9 @@ copy-heavy data plane the HCube design is meant to avoid.  A
 - :func:`resolve_array_ref` (top-level, spawn-safe) turns a descriptor
   back into a concrete array on the worker.
 
-Two backends:
+Three backends, looked up through a string-keyed registry
+(:func:`register_transport` / :func:`available_transports`, mirroring
+:mod:`repro.engines.registry`):
 
 - :class:`PickleTransport` — descriptors carry the sliced partition
   inline; semantically identical to the historical behaviour (arrays are
@@ -22,6 +24,11 @@ Two backends:
   ``(block name, dtype, shape, row indices)``, so large matrices cross
   the process boundary zero-copy and workers slice their own partitions
   locally.  Partitioning work moves off the coordinator.
+- ``tcp`` (:class:`repro.net.transport.TcpTransport`, registered lazily
+  so importing this module never opens a socket) — sources are PUT into
+  a TCP block store and descriptors carry ``(host, port, block_id,
+  dtype, shape, rows)``, so *remote* workers fetch and slice their own
+  partitions.  The multi-machine data plane; see docs/net.md.
 
 Lifetime rules (see docs/data_plane.md): the coordinator owns every
 segment it publishes; ``teardown()`` closes and unlinks all of them and
@@ -51,7 +58,10 @@ __all__ = [
     "Transport",
     "PickleTransport",
     "SharedMemoryTransport",
-    "TRANSPORTS",
+    "TransportSpec",
+    "register_transport",
+    "available_transports",
+    "transport_class",
     "default_transport_name",
     "create_transport",
 ]
@@ -70,15 +80,20 @@ class ArrayRef:
 
     ``kind == "inline"`` carries the partition in ``data`` (the pickle
     data plane); ``kind == "shm"`` carries only the segment name plus the
-    row selection, and the worker slices the shared block itself.
+    row selection, and the worker slices the shared block itself;
+    ``kind == "tcp"`` additionally carries the block store's ``(host,
+    port)`` so workers on *other machines* fetch the block over a socket
+    and slice locally.
     """
 
-    kind: str                          # "inline" | "shm"
+    kind: str                          # "inline" | "shm" | "tcp"
     shape: tuple[int, ...]             # shape of the *source* array
     dtype: str
     data: np.ndarray | None = None     # inline payload (already sliced)
-    block: str | None = None           # shared-memory segment name
+    block: str | None = None           # segment name / block-store id
     rows: np.ndarray | None = None     # row indices into the source
+    host: str | None = None            # block store address (tcp only)
+    port: int | None = None
 
     @property
     def num_rows(self) -> int:
@@ -134,6 +149,15 @@ def resolve_array_ref(ref) -> np.ndarray:
         if ref.rows is not None:
             arr = arr[ref.rows]
         return arr
+    if ref.kind == "tcp":
+        from ..net.blockstore import fetch_block_array
+
+        arr = fetch_block_array(ref.host, ref.port, ref.block,
+                                shape=ref.shape,
+                                dtype=np.dtype(ref.dtype))
+        # The fetched block is a (read-only) process-wide cache entry;
+        # fancy indexing copies, .copy() covers the whole-array case.
+        return arr[ref.rows] if ref.rows is not None else arr.copy()
     if ref.kind != "shm":
         raise ValueError(f"unknown ArrayRef kind {ref.kind!r}")
     seg = _attach_segment(ref.block)
@@ -151,18 +175,26 @@ def resolve_array_ref(ref) -> np.ndarray:
 class TransportStats:
     """What one transport epoch moved, from the coordinator's view.
 
-    ``published_bytes`` are bytes staged into shared blocks (one memcpy
-    per source array, shm only); ``shipped_bytes`` are bytes that enter
-    pickled task payloads — full partitions under pickle, descriptor
-    bytes (row indices + header) under shm.  The acceptance check for
-    the zero-copy plane is ``shipped_bytes(shm) < shipped_bytes(pickle)``
-    on the same run.
+    ``published_bytes`` are bytes staged into shared/remote blocks (one
+    memcpy per source array; shm and tcp only); ``shipped_bytes`` are
+    bytes that enter pickled task payloads — full partitions under
+    pickle, descriptor bytes (row indices + header) under shm/tcp.  The
+    acceptance check for the descriptor-only planes is
+    ``shipped_bytes(shm|tcp) < shipped_bytes(pickle)`` on the same run.
+
+    ``fetched_blocks``/``fetched_bytes`` count what workers pulled back
+    out of the staging area (tcp only: the block store's GET counters,
+    collected at teardown); ``freed_blocks`` counts blocks reclaimed at
+    teardown (shm segments unlinked, tcp blocks freed).
     """
 
     published_blocks: int = 0
     published_bytes: int = 0
     shipped_refs: int = 0
     shipped_bytes: int = 0
+    fetched_blocks: int = 0
+    fetched_bytes: int = 0
+    freed_blocks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -170,6 +202,9 @@ class TransportStats:
             "published_bytes": self.published_bytes,
             "shipped_refs": self.shipped_refs,
             "shipped_bytes": self.shipped_bytes,
+            "fetched_blocks": self.fetched_blocks,
+            "fetched_bytes": self.fetched_bytes,
+            "freed_blocks": self.freed_blocks,
         }
 
 
@@ -180,6 +215,11 @@ class Transport(ABC):
 
     def __init__(self):
         self.stats = TransportStats()
+        #: Final counters of the most recent non-empty epoch, frozen by
+        #: ``teardown()``.  Engines read this *after* releasing the
+        #: epoch's resources, so per-run ``data_plane`` reports include
+        #: teardown-time counters (blocks freed, bytes workers fetched).
+        self.last_epoch = TransportStats()
 
     def setup(self) -> None:
         """Acquire transport resources (idempotent; optional)."""
@@ -194,7 +234,15 @@ class Transport(ABC):
         """A descriptor for ``rows`` of the array published under ``key``."""
 
     def teardown(self) -> None:
-        """Release everything published this epoch (idempotent)."""
+        """Release everything published this epoch (idempotent).
+
+        Freezes the epoch's counters — possibly all zero, for an epoch
+        that never published — into :attr:`last_epoch` and starts a
+        fresh :attr:`stats` epoch.  Engines read :attr:`last_epoch`
+        immediately after their own teardown, so per-run ``data_plane``
+        reports include teardown-time counters.
+        """
+        self.last_epoch = self.stats
         self.stats = TransportStats()
 
     def __enter__(self) -> "Transport":
@@ -300,6 +348,7 @@ class SharedMemoryTransport(Transport):
             try:
                 seg.close()
                 seg.unlink()
+                self.stats.freed_blocks += 1
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
         self._segments.clear()
@@ -307,36 +356,96 @@ class SharedMemoryTransport(Transport):
         super().teardown()
 
 
-TRANSPORTS: dict[str, type[Transport]] = {
-    "pickle": PickleTransport,
-    "shm": SharedMemoryTransport,
-}
+@dataclass(frozen=True)
+class TransportSpec:
+    """One registered transport: key, class path, one-line summary.
+
+    ``module``/``attr`` keep the registration lazy — registering ``tcp``
+    must not import :mod:`repro.net` (and certainly not open sockets)
+    until someone actually asks for it.
+    """
+
+    key: str
+    module: str
+    attr: str
+    summary: str = ""
+
+    def load(self) -> type:
+        import importlib
+
+        return getattr(importlib.import_module(self.module), self.attr)
 
 
-def default_transport_name() -> str:
-    """Transport name from ``REPRO_TRANSPORT`` (default ``pickle``)."""
-    name = os.environ.get(TRANSPORT_ENV_VAR, "pickle")
-    if name not in TRANSPORTS:
+_TRANSPORT_REGISTRY: dict[str, TransportSpec] = {}
+
+
+def register_transport(key: str, cls: type | None = None, *,
+                       lazy: str | None = None, summary: str = "") -> None:
+    """Register a transport class under ``key``.
+
+    Pass either a concrete ``cls`` or a ``lazy`` ``"module:attr"`` path
+    (resolved on first :func:`create_transport` call).  Mirrors
+    :mod:`repro.engines.registry`: re-registering an existing key is a
+    :class:`ConfigError`.
+    """
+    if key in _TRANSPORT_REGISTRY:
+        raise ConfigError(f"transport {key!r} is already registered")
+    if (cls is None) == (lazy is None):
+        raise ConfigError("register_transport needs exactly one of "
+                          "cls= or lazy='module:attr'")
+    if cls is not None:
+        # Already imported, so load() is a cheap sys.modules lookup.
+        module, attr = cls.__module__, cls.__qualname__
+    else:
+        module, _, attr = lazy.partition(":")
+    _TRANSPORT_REGISTRY[key] = TransportSpec(key=key, module=module,
+                                             attr=attr, summary=summary)
+
+
+def available_transports() -> tuple[str, ...]:
+    """Registered transport keys, in registration order."""
+    return tuple(_TRANSPORT_REGISTRY)
+
+
+def transport_class(name: str) -> type:
+    """The :class:`Transport` subclass registered under ``name``."""
+    try:
+        spec = _TRANSPORT_REGISTRY[name]
+    except KeyError:
         raise ConfigError(
-            f"{TRANSPORT_ENV_VAR} must be one of {tuple(TRANSPORTS)}, "
+            f"unknown transport {name!r}; "
+            f"choose from {available_transports()}") from None
+    return spec.load()
+
+
+def default_transport_name(fallback: str = "pickle") -> str:
+    """Transport name from ``REPRO_TRANSPORT`` (default ``fallback``)."""
+    name = os.environ.get(TRANSPORT_ENV_VAR, fallback)
+    if name not in _TRANSPORT_REGISTRY:
+        raise ConfigError(
+            f"{TRANSPORT_ENV_VAR} must be one of {available_transports()}, "
             f"got {name!r}")
     return name
 
 
 def create_transport(name: "str | Transport | None" = None) -> Transport:
-    """Instantiate a transport by name (``pickle``/``shm``).
+    """Instantiate a transport by name (``pickle``/``shm``/``tcp``).
 
     ``None`` resolves through :func:`default_transport_name`; an existing
-    :class:`Transport` instance passes through unchanged.
+    :class:`Transport` instance passes through unchanged.  Unknown names
+    — whether from an argument or from ``REPRO_TRANSPORT`` — raise
+    :class:`ConfigError` naming the registered transports.
     """
     if isinstance(name, Transport):
         return name
     if name is None:
         name = default_transport_name()
-    try:
-        cls = TRANSPORTS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown transport {name!r}; "
-            f"choose from {tuple(TRANSPORTS)}") from None
-    return cls()
+    return transport_class(name)()
+
+
+register_transport("pickle", PickleTransport,
+                   summary="partitions travel inside pickled payloads")
+register_transport("shm", SharedMemoryTransport,
+                   summary="zero-copy shared-memory blocks, same host")
+register_transport("tcp", lazy="repro.net.transport:TcpTransport",
+                   summary="TCP block store for multi-machine clusters")
