@@ -1,32 +1,44 @@
-"""Runtime backends x transports: modeled vs *measured*, real bytes.
+"""Runtime backends x transports x pipeline: modeled vs *measured*.
 
 Unlike the paper-figure benches (which report model-seconds from the
-cost ledgers), this bench actually executes a one-round HCube plan on the
-``serial``, ``threads`` and ``processes`` backends of
+cost ledgers), this bench actually executes a one-round HCube plan on
+the ``serial``, ``threads`` and ``processes`` backends of
 :mod:`repro.runtime`, under all three data-plane transports (``pickle``
 partitions, zero-copy ``shm`` descriptors, and loopback ``tcp``
-block-store descriptors), sweeping worker counts.  It reports the
-modeled total, the measured wall-clock, the measured speedup over
-``serial`` at the same worker count and transport, and the bytes the
-coordinator actually serialized into task payloads (``shipped``) — the
-column that shrinks under ``shm`` and ``tcp`` (workers fetch partitions
-from the block store instead; that traffic lands in ``fetched``).
+block-store descriptors), sweeping worker counts — and, since PR 5,
+with pipelined epochs both **on** (routing parallelized, publish
+overlapped with execution) and **off** (the historical strict
+route -> publish -> execute barriers), so the pipelining win is
+machine-readable from the first run.
+
+Columns: the modeled total, the measured wall-clock, the measured
+speedup over ``serial`` at the same (workers, transport, pipeline), the
+bytes the coordinator serialized into task payloads (``shipped`` — the
+column that shrinks under ``shm``/``tcp``), and ``overlap_s`` — the
+wall-clock window during which task production (routing/publish/mint)
+and task execution coexisted, zero by construction with the pipeline
+off.
 
 Workload: triangle counting (Q1) on a synthetic heavy-tailed (skewed)
 power-law graph — hub vertices make per-worker Leapfrog work expensive
 enough to amortize the process-pool pickling overhead.  On a machine
 with >= 4 usable cores the ``processes`` row at 4 workers should show a
->= 1.3x measured speedup over ``serial``; with fewer cores (CI
-containers are often pinned to 1) the bench still runs and the table
-records the honest — smaller — ratio next to the available-core count.
+>= 1.3x measured speedup over ``serial``, and pipeline=on should be
+measurably faster than pipeline=off for ``processes``+``shm`` (the
+coordinator's publish memcpy hides behind worker execution); with fewer
+cores (CI containers are often pinned to 1) the bench still runs and
+the table records the honest — smaller — ratios next to the
+available-core count.
 
 Run:  PYTHONPATH=src python benchmarks/bench_runtime_backends.py
       [--json BENCH_runtime.json]
 Env:  REPRO_BENCH_SKEW_EDGES (default 12000),
-      REPRO_BENCH_RUNTIME_WORKERS (default "1,2,4").
+      REPRO_BENCH_RUNTIME_WORKERS (default "1,2,4"),
+      REPRO_BENCH_HOSTS (optional "host:port,..." — adds a
+      remote-backend sweep against running `repro serve` agents).
 
-``--json`` writes the per-(backend, transport, workers) records so the
-perf trajectory is machine-readable across PRs.
+``--json`` writes the per-(backend, transport, workers, pipeline)
+records so the perf trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
@@ -51,6 +63,9 @@ WORKER_SWEEP = tuple(
     os.environ.get("REPRO_BENCH_RUNTIME_WORKERS", "1,2,4").split(","))
 BACKENDS = ("serial", "threads", "processes")
 TRANSPORT_SWEEP = ("pickle", "shm", "tcp")
+PIPELINE_SWEEP = (False, True)
+#: Optional running worker agents for a remote-backend leg.
+REMOTE_HOSTS = os.environ.get("REPRO_BENCH_HOSTS") or None
 
 
 def skew_testcase():
@@ -65,72 +80,98 @@ def skew_testcase():
     return query, db
 
 
+def _run_once(query, db, cluster, backend, transport, workers,
+              pipeline) -> dict:
+    kwargs = {"hosts": REMOTE_HOSTS} if backend == "remote" else {}
+    executor = create_executor(backend, max_workers=workers,
+                               transport=transport, pipeline=pipeline,
+                               **kwargs)
+    try:
+        start = time.perf_counter()
+        result = run_engine_safely(HCubeJ(), query, db, cluster,
+                                   executor=executor)
+        measured = time.perf_counter() - start
+    finally:
+        executor.close()
+    assert result.ok, \
+        f"{backend}/{transport}/pipeline={pipeline} failed: " \
+        f"{result.failure}"
+    plane = result.extra.get("data_plane", {})
+    tel = result.telemetry
+    return {
+        "backend": backend,
+        "transport": transport,
+        "workers": workers,
+        "pipeline": "on" if pipeline else "off",
+        "count": result.count,
+        "modeled_seconds": result.breakdown.total,
+        "measured_seconds": measured,
+        "shuffle_seconds": tel.phase_seconds.get("shuffle", 0.0),
+        "publish_seconds": tel.phase_seconds.get("publish", 0.0),
+        "join_seconds": tel.phase_seconds.get("local_join", 0.0),
+        "overlap_s": tel.overlap_seconds,
+        "coordinator_shipped_bytes": plane.get("shipped_bytes", 0),
+        "published_bytes": plane.get("published_bytes", 0),
+        "fetched_bytes": plane.get("fetched_bytes", 0),
+        "freed_blocks": plane.get("freed_blocks", 0),
+    }
+
+
 def run_backends():
-    """Sweep backends x transports x workers; return JSON-able records."""
+    """Sweep backends x transports x workers x pipeline; return records."""
     query, db = skew_testcase()
     records = []
     counts = set()
-    serial_measured: dict[tuple[int, str], float] = {}
+    serial_measured: dict[tuple[int, str, str], float] = {}
+    backends = BACKENDS + (("remote",) if REMOTE_HOSTS else ())
     for workers in WORKER_SWEEP:
         cluster = Cluster(num_workers=workers)
-        for backend in BACKENDS:
+        for backend in backends:
             for transport in TRANSPORT_SWEEP:
-                executor = create_executor(backend, max_workers=workers,
-                                           transport=transport)
-                try:
-                    start = time.perf_counter()
-                    result = run_engine_safely(HCubeJ(), query, db,
-                                               cluster, executor=executor)
-                    measured = time.perf_counter() - start
-                finally:
-                    executor.close()
-                assert result.ok, \
-                    f"{backend}/{transport} failed: {result.failure}"
-                counts.add(result.count)
-                if backend == "serial":
-                    serial_measured[(workers, transport)] = measured
-                plane = result.extra.get("data_plane", {})
-                tel = result.telemetry
-                records.append({
-                    "backend": backend,
-                    "transport": transport,
-                    "workers": workers,
-                    "count": result.count,
-                    "modeled_seconds": result.breakdown.total,
-                    "measured_seconds": measured,
-                    "shuffle_seconds":
-                        tel.phase_seconds.get("shuffle", 0.0),
-                    "publish_seconds":
-                        tel.phase_seconds.get("publish", 0.0),
-                    "join_seconds":
-                        tel.phase_seconds.get("local_join", 0.0),
-                    "speedup_vs_serial":
-                        serial_measured[(workers, transport)] / measured,
-                    "coordinator_shipped_bytes":
-                        plane.get("shipped_bytes", 0),
-                    "published_bytes": plane.get("published_bytes", 0),
-                    "fetched_bytes": plane.get("fetched_bytes", 0),
-                    "freed_blocks": plane.get("freed_blocks", 0),
-                })
+                if backend == "remote" and transport == "shm":
+                    continue  # agents may not share this host's memory
+                for pipeline in PIPELINE_SWEEP:
+                    rec = _run_once(query, db, cluster, backend,
+                                    transport, workers, pipeline)
+                    counts.add(rec["count"])
+                    key = (workers, transport, rec["pipeline"])
+                    if backend == "serial":
+                        serial_measured[key] = rec["measured_seconds"]
+                    rec["speedup_vs_serial"] = (
+                        serial_measured.get(key, rec["measured_seconds"])
+                        / rec["measured_seconds"])
+                    records.append(rec)
     assert len(counts) == 1, f"backends disagree: {counts}"
     # The descriptor-only planes must move strictly fewer coordinator-
-    # pickled bytes than the pickle plane on the same (backend, workers)
-    # run — and under tcp the partition bytes must show up as block
-    # store fetches instead.
-    by_key = {(r["backend"], r["workers"], r["transport"]): r
-              for r in records}
+    # pickled bytes than the pickle plane on the same (backend, workers,
+    # pipeline) run — and under tcp the partition bytes must show up as
+    # block store fetches instead.  Pipelining must not change any
+    # data-plane total.
+    by_key = {(r["backend"], r["workers"], r["transport"], r["pipeline"]):
+              r for r in records}
     for workers in WORKER_SWEEP:
         for backend in BACKENDS:
-            pik = by_key[(backend, workers, "pickle")]
-            for transport in ("shm", "tcp"):
-                rec = by_key[(backend, workers, transport)]
-                assert (rec["coordinator_shipped_bytes"]
-                        < pik["coordinator_shipped_bytes"]), \
-                    (f"{transport} did not reduce shipped bytes at "
-                     f"{backend}/{workers}")
-            tcp = by_key[(backend, workers, "tcp")]
-            assert tcp["fetched_bytes"] >= tcp["published_bytes"] > 0, \
-                f"tcp fetches not accounted at {backend}/{workers}"
+            for pipeline in ("off", "on"):
+                pik = by_key[(backend, workers, "pickle", pipeline)]
+                for transport in ("shm", "tcp"):
+                    rec = by_key[(backend, workers, transport, pipeline)]
+                    assert (rec["coordinator_shipped_bytes"]
+                            < pik["coordinator_shipped_bytes"]), \
+                        (f"{transport} did not reduce shipped bytes at "
+                         f"{backend}/{workers}/pipeline={pipeline}")
+                tcp = by_key[(backend, workers, "tcp", pipeline)]
+                assert tcp["fetched_bytes"] >= tcp["published_bytes"] \
+                    > 0, \
+                    f"tcp fetches not accounted at {backend}/{workers}"
+            for transport in TRANSPORT_SWEEP:
+                on = by_key[(backend, workers, transport, "on")]
+                off = by_key[(backend, workers, transport, "off")]
+                for key in ("count", "coordinator_shipped_bytes",
+                            "published_bytes"):
+                    assert on[key] == off[key], \
+                        (f"pipeline changed {key} at "
+                         f"{backend}/{transport}/{workers}")
+                assert off["overlap_s"] == 0.0
     return records
 
 
@@ -142,31 +183,57 @@ def main(argv=None) -> None:
     args = parser.parse_args(argv)
     cores = available_parallelism()
     records = run_backends()
-    rows = [[r["backend"], r["transport"], r["workers"],
+    rows = [[r["backend"], r["transport"], r["workers"], r["pipeline"],
              f"{r['count']:,}",
              f"{r['modeled_seconds']:.4f}",
              f"{r['measured_seconds']:.4f}",
+             f"{r['overlap_s']:.4f}",
              f"{r['coordinator_shipped_bytes']:,}",
              f"{r['fetched_bytes']:,}",
              f"{r['speedup_vs_serial']:.2f}x"]
             for r in records]
     table = fmt_table(
-        ["backend", "transport", "workers", "count", "modeled_s",
-         "measured_s", "shipped_B", "fetched_B", "speedup_vs_serial"],
+        ["backend", "transport", "workers", "pipeline", "count",
+         "modeled_s", "measured_s", "overlap_s", "shipped_B",
+         "fetched_B", "speedup_vs_serial"],
         rows,
-        title=(f"Runtime backends x transports on the synthetic skew "
-               f"graph ({SKEW_EDGES:,} edges, {cores} usable core(s))"))
-    note = ("\nNote: 'modeled_s' is the cost-model total for the "
+        title=(f"Runtime backends x transports x pipeline on the "
+               f"synthetic skew graph ({SKEW_EDGES:,} edges, "
+               f"{cores} usable core(s))"))
+    # Pipeline win, summarized per (backend, transport) at the largest
+    # worker count (wall-clock; expect on <= off on multi-core hosts).
+    by_key = {(r["backend"], r["workers"], r["transport"], r["pipeline"]):
+              r for r in records}
+    w = max(WORKER_SWEEP)
+    gains = []
+    for backend in sorted({r["backend"] for r in records}):
+        for transport in TRANSPORT_SWEEP:
+            on = by_key.get((backend, w, transport, "on"))
+            off = by_key.get((backend, w, transport, "off"))
+            if on and off:
+                gains.append(
+                    f"  {backend}/{transport} x{w}: "
+                    f"off={off['measured_seconds']:.4f}s "
+                    f"on={on['measured_seconds']:.4f}s "
+                    f"({off['measured_seconds'] / on['measured_seconds']:.2f}x, "
+                    f"overlap={on['overlap_s']:.4f}s)")
+    note = ("\nPipeline on-vs-off at the widest sweep point:\n"
+            + "\n".join(gains)
+            + "\n\nNote: 'modeled_s' is the cost-model total for the "
             "simulated 28-node-style cluster; 'measured_s' is real "
-            "wall-clock on this machine.  'shipped_B' counts bytes the "
-            "coordinator serialized into task payloads — full partition "
-            "matrices under the pickle transport, (block, dtype, shape, "
-            "row-index) descriptors under shm and tcp.  'fetched_B' "
-            "counts bytes workers pulled back out of the tcp block "
-            "store (zero for the other transports: shm readers attach "
-            "segments directly).  The processes backend needs >= as "
-            "many usable cores as workers to show its speedup; this "
-            f"machine exposes {cores}.")
+            "wall-clock on this machine.  'overlap_s' is the window "
+            "during which the coordinator was still routing/publishing "
+            "while workers already executed tasks (0 with the pipeline "
+            "off, and 0 on the serial backend — inline execution has "
+            "no concurrency to claim).  'shipped_B' counts bytes the "
+            "coordinator serialized "
+            "into task payloads — full partition matrices under the "
+            "pickle transport, descriptors under shm and tcp.  "
+            "'fetched_B' counts bytes workers pulled back out of the "
+            "tcp block store.  The processes backend needs >= as many "
+            "usable cores as workers to show its speedup — and the "
+            "pipeline needs >= 2 usable cores to show overlap wins; "
+            f"this machine exposes {cores}.")
     report("runtime_backends", table + note)
     if args.json:
         payload = {

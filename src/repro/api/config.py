@@ -25,6 +25,7 @@ Environment variables::
     REPRO_SCALE        dataset scale — resolved by repro.data.datasets
     REPRO_WORK_BUDGET  Leapfrog work budget           (default None)
     REPRO_MEMORY_TUPLES per-worker memory budget      (default None)
+    REPRO_PIPELINE     pipelined epochs: on | off     (default on)
 """
 
 from __future__ import annotations
@@ -36,9 +37,11 @@ from dataclasses import dataclass, field
 from ..distributed.cluster import RUNTIME_BACKENDS, Cluster, default_workers
 from ..engines.base import EngineOptions
 from ..errors import ConfigError
+from ..runtime.executor import PIPELINE_ENV_VAR, default_pipeline
 
 __all__ = ["RunConfig", "EngineOptions", "default_backend",
-           "default_hosts", "default_samples", "default_seed"]
+           "default_hosts", "default_pipeline", "default_samples",
+           "default_seed", "PIPELINE_ENV_VAR"]
 
 
 HOSTS_ENV_VAR = "REPRO_HOSTS"
@@ -136,6 +139,11 @@ class RunConfig:
     #: (REPRO_MEMORY_TUPLES).
     memory_tuples: float | None = field(
         default_factory=lambda: _env_int(MEMORY_ENV_VAR, None, minimum=1))
+    #: Pipelined epochs (REPRO_PIPELINE, default on): overlap routing/
+    #: publish with task execution on runtime backends.  ``False``
+    #: restores the strict route -> publish -> execute barriers
+    #: (the A/B baseline; results are count-identical either way).
+    pipeline: bool = field(default_factory=default_pipeline)
 
     def __post_init__(self):
         if self.workers < 1:

@@ -52,6 +52,7 @@ class JoinSession:
                  scale: float | None = None,
                  work_budget: int | None = None,
                  memory_tuples: float | None = None,
+                 pipeline: bool | None = None,
                  config: RunConfig | None = None,
                  cluster: Cluster | None = None):
         """Keyword arguments override ``config`` (itself env-defaulted).
@@ -74,7 +75,8 @@ class JoinSession:
         self.config = (config or RunConfig()).replace(
             workers=workers, backend=backend, transport=transport,
             hosts=hosts, samples=samples, seed=seed, scale=scale,
-            work_budget=work_budget, memory_tuples=memory_tuples)
+            work_budget=work_budget, memory_tuples=memory_tuples,
+            pipeline=pipeline)
         if cluster is not None:
             self.config = self.config.replace(
                 workers=cluster.num_workers, backend=cluster.runtime)
@@ -118,7 +120,8 @@ class JoinSession:
         if self._executor is None:
             self._executor = executor_for(self._cluster,
                                           transport=self.config.transport,
-                                          hosts=self.config.hosts)
+                                          hosts=self.config.hosts,
+                                          pipeline=self.config.pipeline)
         return self._executor
 
     def _check_open(self) -> None:

@@ -58,10 +58,13 @@ def _session_for(args) -> JoinSession:
     Every flag defaults to None so precedence is flag > REPRO_* env
     (RunConfig's default factories) > built-in default.
     """
+    pipeline_flag = getattr(args, "pipeline", None)
     config = RunConfig().replace(
         workers=args.workers, backend=args.backend,
         transport=args.transport, hosts=getattr(args, "hosts", None),
-        samples=args.samples, scale=_resolve_scale(args.scale))
+        samples=args.samples, scale=_resolve_scale(args.scale),
+        pipeline=(None if pipeline_flag is None
+                  else pipeline_flag == "on"))
     return JoinSession(config=config)
 
 
@@ -118,7 +121,8 @@ def _cmd_run(args) -> int:
               f"{len(job.db[job.query.atoms[0].relation]):,} "
               f"edges/relation, {session.cluster.num_workers} workers, "
               f"backend={session.config.backend}, "
-              f"transport={session.transport_label}")
+              f"transport={session.transport_label}, "
+              f"pipeline={'on' if session.config.pipeline else 'off'}")
         print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
               f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8} "
               f"{'ship':>8} {'fetch':>8}")
@@ -258,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "remote: 'host:port' agents (python -m repro "
                             "serve) and/or 'local[:slots]' (default: "
                             "$REPRO_HOSTS)")
+    run_p.add_argument("--pipeline", default=None, choices=["on", "off"],
+                       help="pipelined epochs: overlap routing/publish "
+                            "with task execution ('off' restores the "
+                            "strict barriers for A/B; default: "
+                            "$REPRO_PIPELINE or on)")
 
     serve_p = sub.add_parser(
         "serve", help="stand up a worker agent for remote coordinators")

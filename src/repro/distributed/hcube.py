@@ -231,15 +231,74 @@ class HCubeShuffleResult:
         return localized_query(self.grid.query)
 
 
+def _route_atom(grid: HypercubeGrid, atom: Atom, data: np.ndarray,
+                impl: str, coords: Sequence[tuple[int, ...]]
+                ) -> tuple[list[np.ndarray], int, int, int, dict[int, int]]:
+    """Route one atom's tuples: rows per cube plus this atom's counters.
+
+    Self-contained on purpose — atoms route independently, so
+    :func:`hcube_route` may fan atoms out over a coordinator thread pool
+    (pipelined epochs) and merge the returned counters in atom order,
+    keeping stats bit-identical to the serial pass.
+
+    Returns ``(rows_per_cube, tuple_copies, blocks_fetched, bytes_copied,
+    worker_load_delta)``.
+    """
+    block_ids = grid.tuple_block_ids(atom, data)
+    order = np.argsort(block_ids, kind="stable")
+    sorted_ids = block_ids[order]
+    boundaries = np.searchsorted(
+        sorted_ids, np.arange(0, 1 + int(sorted_ids.max(initial=0)) + 1))
+
+    def block_rows(block: int) -> np.ndarray:
+        if block + 1 >= boundaries.shape[0]:
+            return order[0:0]
+        return order[boundaries[block]:boundaries[block + 1]]
+
+    rows_per_cube: list[np.ndarray] = []
+    tuple_copies = 0
+    blocks_fetched = 0
+    loads: dict[int, int] = {}
+    seen_by_worker: dict[int, set[int]] = {}
+    for cube in range(grid.num_cubes):
+        block = grid.cube_block_id(atom, coords[cube])
+        rows = block_rows(block)
+        rows_per_cube.append(rows)
+        size = int(rows.shape[0])
+        worker = grid.worker_of_cube(cube)
+        if impl == "push":
+            # Tuple-at-a-time: every (tuple, cube) pair is a message.
+            tuple_copies += size
+            loads[worker] = loads.get(worker, 0) + size
+        else:
+            # Block pull: a worker fetches each distinct block once.
+            seen = seen_by_worker.setdefault(worker, set())
+            if size and block not in seen:
+                seen.add(block)
+                tuple_copies += size
+                blocks_fetched += 1
+                loads[worker] = loads.get(worker, 0) + size
+    # Bytes move at the relation's actual element width (an older
+    # version hardcoded 8, over-counting narrow dtypes).
+    bytes_copied = tuple_copies * atom.arity * data.dtype.itemsize
+    return rows_per_cube, tuple_copies, blocks_fetched, bytes_copied, loads
+
+
 def hcube_route(query: JoinQuery, db: Database, grid: HypercubeGrid,
                 impl: str = "pull",
-                memory_tuples: float | None = None) -> HCubeRouting:
+                memory_tuples: float | None = None,
+                routing_threads: int | None = None) -> HCubeRouting:
     """Compute per-cube routing assignments without copying any tuple.
 
     Returns row indices per (atom, cube) plus the same
     :class:`ShuffleStats` / OOM accounting as the materializing
     :func:`hcube_shuffle` — the modeled cluster's data movement does not
     depend on which physical transport later carries it.
+
+    ``routing_threads`` > 1 routes atoms concurrently on a coordinator
+    thread pool (the hashing/argsort work is per-atom independent);
+    counters are merged in atom order afterwards, so the result —
+    routing assignments *and* stats — is identical to the serial pass.
     """
     if impl not in ("push", "pull", "merge"):
         raise PlanError(f"unknown HCube implementation {impl!r}")
@@ -249,49 +308,36 @@ def hcube_route(query: JoinQuery, db: Database, grid: HypercubeGrid,
     worker_loads: dict[int, int] = {w: 0 for w in range(grid.num_workers)}
     coords = [grid.coordinate_of(c) for c in range(num_cubes)]
 
+    atom_data: list[np.ndarray] = []
     for atom in query.atoms:
         rel = db[atom.relation]
         if rel.arity != atom.arity:
             raise PlanError(f"atom {atom} does not match relation {rel.name}")
-        data = rel.data
-        block_ids = grid.tuple_block_ids(atom, data)
-        order = np.argsort(block_ids, kind="stable")
-        sorted_ids = block_ids[order]
-        boundaries = np.searchsorted(
-            sorted_ids, np.arange(0, 1 + int(sorted_ids.max(initial=0)) + 1))
+        atom_data.append(rel.data)
 
-        def block_rows(block: int) -> np.ndarray:
-            if block + 1 >= boundaries.shape[0]:
-                return order[0:0]
-            return order[boundaries[block]:boundaries[block + 1]]
+    threads = int(routing_threads or 1)
+    if threads > 1 and len(query.atoms) > 1:
+        from concurrent.futures import ThreadPoolExecutor
 
-        rows_per_cube: list[np.ndarray] = []
-        atom_copies = 0
-        seen_by_worker: dict[int, set[int]] = {}
-        for cube in range(num_cubes):
-            block = grid.cube_block_id(atom, coords[cube])
-            rows = block_rows(block)
-            rows_per_cube.append(rows)
-            size = int(rows.shape[0])
-            worker = grid.worker_of_cube(cube)
-            if impl == "push":
-                # Tuple-at-a-time: every (tuple, cube) pair is a message.
-                stats.tuple_copies += size
-                atom_copies += size
-                worker_loads[worker] += size
-            else:
-                # Block pull: a worker fetches each distinct block once.
-                seen = seen_by_worker.setdefault(worker, set())
-                if size and block not in seen:
-                    seen.add(block)
-                    stats.tuple_copies += size
-                    stats.blocks_fetched += 1
-                    atom_copies += size
-                    worker_loads[worker] += size
-        # Accumulate per atom at the atom's own arity (an older version
-        # overwrote the counter with the last atom's arity applied to
-        # *all* copies, misaccounting mixed-arity queries).
-        stats.bytes_copied += atom_copies * rel.arity * 8
+        with ThreadPoolExecutor(
+                max_workers=min(threads, len(query.atoms)),
+                thread_name_prefix="repro-route") as pool:
+            routed = list(pool.map(
+                _route_atom,
+                (grid for _ in query.atoms), query.atoms, atom_data,
+                (impl for _ in query.atoms),
+                (coords for _ in query.atoms)))
+    else:
+        routed = [_route_atom(grid, atom, data, impl, coords)
+                  for atom, data in zip(query.atoms, atom_data)]
+
+    # Merge in atom order — deterministic regardless of thread timing.
+    for rows_per_cube, copies, fetched, nbytes, loads in routed:
+        stats.tuple_copies += copies
+        stats.blocks_fetched += fetched
+        stats.bytes_copied += nbytes
+        for worker, load in loads.items():
+            worker_loads[worker] += load
         atom_rows.append(rows_per_cube)
 
     stats.max_worker_tuples = max(worker_loads.values(), default=0)

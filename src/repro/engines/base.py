@@ -147,26 +147,53 @@ class Engine(Protocol):
         ...
 
 
+def _failure_extra(executor: Executor | None, baseline, **extra) -> dict:
+    """Extra payload for a failed run: real data-plane counters included.
+
+    The engine's own ``finally`` has already torn the epoch down by the
+    time the failure reaches here, freezing its true counters into the
+    transport's ``last_epoch`` — so failed runs report what they
+    actually published/shipped instead of zeros.  ``baseline`` is the
+    ``last_epoch`` object observed *before* the run: every teardown
+    replaces it, so an unchanged identity means this run never tore an
+    epoch down (it failed before touching the transport) and reporting
+    the previous run's counters would be a lie — report nothing.
+    """
+    if executor is not None:
+        transport = executor.transport
+        epoch = transport.last_epoch
+        if epoch is not baseline and (epoch.published_blocks
+                                      or epoch.shipped_refs):
+            extra["data_plane"] = dict(epoch.as_dict(),
+                                       transport=transport.name)
+    return extra
+
+
 def run_engine_safely(engine: Engine, query: JoinQuery, db: Database,
                       cluster: Cluster,
                       executor: Executor | None = None) -> EngineResult:
     """Run an engine, converting the paper's two failure modes into a
     failed :class:`EngineResult` (missing bar / frame-top bar).  Runtime
     worker crashes surface the same way (``failure="crash"``)."""
+    baseline = executor.transport.last_epoch if executor is not None \
+        else None
     try:
         if executor is not None:
             return engine.run(query, db, cluster, executor=executor)
         return engine.run(query, db, cluster)
     except OutOfMemory:
         return EngineResult(engine=engine.name, query=query.name, count=-1,
-                            breakdown=CostBreakdown(), failure="oom")
+                            breakdown=CostBreakdown(), failure="oom",
+                            extra=_failure_extra(executor, baseline))
     except BudgetExceeded:
         return EngineResult(engine=engine.name, query=query.name, count=-1,
-                            breakdown=CostBreakdown(), failure="budget")
+                            breakdown=CostBreakdown(), failure="budget",
+                            extra=_failure_extra(executor, baseline))
     except WorkerCrashed as exc:
         return EngineResult(engine=engine.name, query=query.name, count=-1,
                             breakdown=CostBreakdown(), failure="crash",
-                            extra={"crash_reason": str(exc)})
+                            extra=_failure_extra(executor, baseline,
+                                                 crash_reason=str(exc)))
 
 
 def attach_degree_order(query: JoinQuery, db: Database) -> tuple[str, ...]:

@@ -32,7 +32,9 @@ from ..query.query import JoinQuery
 from ..runtime.executor import Executor
 from ..runtime.scheduler import (
     build_routed_tasks,
+    iter_routed_tasks,
     merge_task_results,
+    run_streamed_tasks,
     run_worker_tasks,
 )
 from ..runtime.telemetry import RuntimeTelemetry
@@ -66,19 +68,33 @@ class BigJoin:
         modeled communication (the model charges the round-per-attribute
         shuffles below), so its stats are not booked on the ledger.
         """
+        from ..runtime.executor import available_parallelism
+
+        pipelined = getattr(executor, "pipeline", False)
         shares = {a: 1 for a in query.attributes}
         shares[order[0]] = cluster.num_workers
         grid = HypercubeGrid(query, shares, cluster.num_workers)
         with telemetry.measure("shuffle"):
-            routing = hcube_route(query, db, grid, impl="pull")
+            routing = hcube_route(
+                query, db, grid, impl="pull",
+                routing_threads=(available_parallelism()
+                                 if pipelined else None))
         transport = executor.transport
         try:
-            with telemetry.measure("publish"):
-                tasks = build_routed_tasks(routing, db, order,
-                                           budget=self.work_budget,
-                                           transport=transport)
-            results = run_worker_tasks(executor, tasks,
-                                       telemetry=telemetry)
+            if pipelined:
+                results = run_streamed_tasks(
+                    executor,
+                    iter_routed_tasks(routing, db, order,
+                                      budget=self.work_budget,
+                                      transport=transport),
+                    telemetry=telemetry)
+            else:
+                with telemetry.measure("publish"):
+                    tasks = build_routed_tasks(routing, db, order,
+                                               budget=self.work_budget,
+                                               transport=transport)
+                results = run_worker_tasks(executor, tasks,
+                                           telemetry=telemetry)
             merged = merge_task_results(results, len(order),
                                         budget=self.work_budget)
         finally:

@@ -36,10 +36,12 @@ from ..distributed.metrics import CostLedger, ShuffleStats
 from ..distributed.partitioner import optimize_shares
 from ..errors import BudgetExceeded
 from ..query.query import JoinQuery
-from ..runtime.executor import Executor
+from ..runtime.executor import Executor, available_parallelism
 from ..runtime.scheduler import (
     build_routed_tasks,
+    iter_routed_tasks,
     merge_task_results,
+    run_streamed_tasks,
     run_worker_tasks,
 )
 from ..runtime.telemetry import RuntimeTelemetry
@@ -98,13 +100,19 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
     if telemetry is None and executor is not None:
         telemetry = RuntimeTelemetry(backend=executor.name,
                                      num_workers=cluster.num_workers)
+    # Pipelined epochs (default on): route atoms on a coordinator thread
+    # pool, then stream tasks so publish/mint overlaps execution.
+    pipelined = executor is not None and getattr(executor, "pipeline",
+                                                 False)
     sizes = {a.relation: len(db[a.relation]) for a in query.atoms}
     shares = optimize_shares(query, sizes, cluster.num_workers,
                              memory_tuples=cluster.memory_tuples_per_worker)
     grid = HypercubeGrid(query, shares, cluster.num_workers)
     shuffle_start = time.perf_counter()
     routing = hcube_route(query, db, grid, impl=impl,
-                          memory_tuples=cluster.memory_tuples_per_worker)
+                          memory_tuples=cluster.memory_tuples_per_worker,
+                          routing_threads=(available_parallelism()
+                                           if pipelined else None))
     if telemetry is not None:
         telemetry.record("shuffle", time.perf_counter() - shuffle_start)
     ledger.charge_shuffle(routing.stats, impl, phase=comm_phase)
@@ -121,15 +129,25 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
         # Runtime path: routing assignments + transport descriptors.
         transport = executor.transport
         try:
-            publish_start = time.perf_counter()
-            tasks = build_routed_tasks(routing, db, order,
-                                       budget=work_budget,
-                                       transport=transport,
-                                       cache_capacity=cache_capacity)
-            if telemetry is not None:
-                telemetry.record("publish",
-                                 time.perf_counter() - publish_start)
-            results = run_worker_tasks(executor, tasks, telemetry=telemetry)
+            if pipelined:
+                # Streamed: workers start on the first tasks while the
+                # coordinator is still publishing/slicing later ones.
+                task_stream = iter_routed_tasks(
+                    routing, db, order, budget=work_budget,
+                    transport=transport, cache_capacity=cache_capacity)
+                results = run_streamed_tasks(executor, task_stream,
+                                             telemetry=telemetry)
+            else:
+                publish_start = time.perf_counter()
+                tasks = build_routed_tasks(routing, db, order,
+                                           budget=work_budget,
+                                           transport=transport,
+                                           cache_capacity=cache_capacity)
+                if telemetry is not None:
+                    telemetry.record("publish",
+                                     time.perf_counter() - publish_start)
+                results = run_worker_tasks(executor, tasks,
+                                           telemetry=telemetry)
             merged = merge_task_results(results, len(order),
                                         budget=work_budget)
         finally:

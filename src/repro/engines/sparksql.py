@@ -72,20 +72,41 @@ class SparkSQLJoin:
                                                cluster.num_workers)
             right_rows, _ = hash_partition_rows(right, common,
                                                 cluster.num_workers)
-            lkey = transport.publish(f"step:{current.name}", current.data)
-            rkey = transport.publish(f"step:{right.name}", right.data)
-            tasks = [
-                PartitionJoinTask(
-                    left=transport.make_ref(lkey, lr),
-                    left_attrs=current.attributes, left_name=current.name,
-                    right=transport.make_ref(rkey, rr),
-                    right_attrs=right.attributes, right_name=right.name)
-                for lr, rr in zip(left_rows, right_rows)
-                if lr.shape[0] and rr.shape[0]]
             telemetry.record("partition", time.perf_counter() - t0)
-            t1 = time.perf_counter()
-            joined = executor.map_tasks(join_partition_pair_task, tasks)
-            telemetry.record("local_join", time.perf_counter() - t1)
+
+            def partition_tasks():
+                lkey = transport.publish(f"step:{current.name}",
+                                         current.data)
+                rkey = transport.publish(f"step:{right.name}",
+                                         right.data)
+                for lr, rr in zip(left_rows, right_rows):
+                    if lr.shape[0] and rr.shape[0]:
+                        yield PartitionJoinTask(
+                            left=transport.make_ref(lkey, lr),
+                            left_attrs=current.attributes,
+                            left_name=current.name,
+                            right=transport.make_ref(rkey, rr),
+                            right_attrs=right.attributes,
+                            right_name=right.name)
+
+            if getattr(executor, "pipeline", False):
+                # Stream pairs: the first partitions join while later
+                # descriptors are still being sliced/minted.
+                from ..runtime.scheduler import run_streamed
+
+                joined = run_streamed(
+                    executor, join_partition_pair_task,
+                    partition_tasks(), telemetry=telemetry,
+                    mint_phase="partition", run_phase="local_join")
+            else:
+                t1 = time.perf_counter()
+                tasks = list(partition_tasks())
+                telemetry.record("partition",
+                                 time.perf_counter() - t1)
+                t2 = time.perf_counter()
+                joined = executor.map_tasks(join_partition_pair_task,
+                                            tasks)
+                telemetry.record("local_join", time.perf_counter() - t2)
         finally:
             transport.teardown()
         # Each step is one epoch; sum the post-teardown snapshots so the

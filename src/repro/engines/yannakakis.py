@@ -67,26 +67,38 @@ class YannakakisJoin:
         within ``num_workers`` even when there are more bags.
         """
         transport = executor.transport
+
+        def bag_task(bag) -> BagTask:
+            attrs = tuple(a for a in query.attributes
+                          if a in bag.attributes)
+            sub = JoinQuery([query.atoms[i] for i in bag.atom_indices],
+                            name=f"bag{bag.index}")
+            return BagTask(
+                index=bag.index, query=sub, order=attrs,
+                arrays=tuple(
+                    transport.make_ref(transport.publish(
+                        f"rel:{a.relation}", db[a.relation].data))
+                    for a in sub.atoms),
+                budget=self.work_budget)
+
         try:
-            t0 = time.perf_counter()
-            keys = {atom.relation: transport.publish(
-                        f"rel:{atom.relation}", db[atom.relation].data)
-                    for atom in query.atoms}
-            tasks = []
-            for bag in tree.bags:
-                attrs = tuple(a for a in query.attributes
-                              if a in bag.attributes)
-                sub = JoinQuery([query.atoms[i] for i in bag.atom_indices],
-                                name=f"bag{bag.index}")
-                tasks.append(BagTask(
-                    index=bag.index, query=sub, order=attrs,
-                    arrays=tuple(transport.make_ref(keys[a.relation])
-                                 for a in sub.atoms),
-                    budget=self.work_budget))
-            telemetry.record("publish", time.perf_counter() - t0)
-            t1 = time.perf_counter()
-            results = executor.map_tasks(materialize_bag_task, tasks)
-            telemetry.record("precompute", time.perf_counter() - t1)
+            if getattr(executor, "pipeline", False):
+                # Stream bags: the first bag's WCOJ starts while later
+                # bags' source relations are still being published.
+                from ..runtime.scheduler import run_streamed
+
+                results = run_streamed(
+                    executor, materialize_bag_task,
+                    (bag_task(bag) for bag in tree.bags),
+                    telemetry=telemetry,
+                    mint_phase="publish", run_phase="precompute")
+            else:
+                t0 = time.perf_counter()
+                tasks = [bag_task(bag) for bag in tree.bags]
+                telemetry.record("publish", time.perf_counter() - t0)
+                t1 = time.perf_counter()
+                results = executor.map_tasks(materialize_bag_task, tasks)
+                telemetry.record("precompute", time.perf_counter() - t1)
         finally:
             transport.teardown()
         # Post-teardown snapshot: includes blocks freed / bytes fetched.

@@ -116,24 +116,29 @@ class TcpTransport(Transport):
         return self._client
 
     def publish(self, key: str, array: np.ndarray) -> str:
-        if key in self._meta:
-            return key
-        client = self._ensure_store()
-        arr = np.ascontiguousarray(array)
-        if arr.nbytes == 0:
-            # Empty arrays ship as (tiny) inline refs, like shm.
-            self._meta[key] = (None, tuple(arr.shape), str(arr.dtype))
-            return key
-        block = f"{key}@{uuid.uuid4().hex[:12]}"
-        client.put(block, arr)
-        self._meta[key] = (block, tuple(arr.shape), str(arr.dtype))
-        self.stats.published_blocks += 1
-        self.stats.published_bytes += int(arr.nbytes)
+        # The lock (Transport._lock) serializes the whole PUT: the
+        # client socket is shared, so two coordinator threads must not
+        # interleave frames on it.
+        with self._lock:
+            if key in self._meta:
+                return key
+            client = self._ensure_store()
+            arr = np.ascontiguousarray(array)
+            if arr.nbytes == 0:
+                # Empty arrays ship as (tiny) inline refs, like shm.
+                self._meta[key] = (None, tuple(arr.shape), str(arr.dtype))
+                return key
+            block = f"{key}@{uuid.uuid4().hex[:12]}"
+            client.put(block, arr)
+            self._meta[key] = (block, tuple(arr.shape), str(arr.dtype))
+            self.stats.published_blocks += 1
+            self.stats.published_bytes += int(arr.nbytes)
         return key
 
     def make_ref(self, key: str, rows: np.ndarray | None = None
                  ) -> ArrayRef:
-        block, shape, dtype = self._meta[key]
+        with self._lock:
+            block, shape, dtype = self._meta[key]
         rows = self._normalize_rows(rows)
         if block is None or (rows is not None and rows.shape[0] == 0):
             empty_shape = ((0,) + shape[1:]) if rows is not None else shape
@@ -146,6 +151,10 @@ class TcpTransport(Transport):
         return self._record_shipped(ref)
 
     def teardown(self) -> None:
+        with self._lock:
+            self._teardown_locked()
+
+    def _teardown_locked(self) -> None:
         client, self._client = self._client, None
         if client is not None:
             try:

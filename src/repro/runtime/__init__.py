@@ -16,6 +16,7 @@ rules.
 """
 
 from .executor import (
+    PIPELINE_ENV_VAR,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -23,13 +24,17 @@ from .executor import (
     available_backends,
     available_parallelism,
     create_executor,
+    default_pipeline,
     executor_for,
 )
 from .scheduler import (
     MergedOutcome,
     build_routed_tasks,
     build_worker_tasks,
+    iter_routed_tasks,
     merge_task_results,
+    run_streamed,
+    run_streamed_tasks,
     run_worker_tasks,
 )
 from .telemetry import RuntimeTelemetry, modeled_vs_measured
@@ -65,11 +70,16 @@ __all__ = [
     "available_backends",
     "available_parallelism",
     "create_executor",
+    "default_pipeline",
     "executor_for",
+    "PIPELINE_ENV_VAR",
     "MergedOutcome",
     "build_routed_tasks",
     "build_worker_tasks",
+    "iter_routed_tasks",
     "merge_task_results",
+    "run_streamed",
+    "run_streamed_tasks",
     "run_worker_tasks",
     "RuntimeTelemetry",
     "modeled_vs_measured",

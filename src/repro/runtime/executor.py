@@ -13,30 +13,50 @@ One interface, three implementations:
   to worker processes, so task functions must be importable top-level
   functions (spawn/fork safe — see docs/runtime.md).
 
-Failure contract: a task that raises anything other than a
+Two submission APIs share one failure contract:
+
+- ``map_tasks(fn, tasks)`` — the barrier API: every task is known up
+  front, results come back as one ordered list.
+- ``submit_tasks(fn, tasks)`` — the streaming API: ``tasks`` may be a
+  *lazy* iterable (e.g. the scheduler's
+  :func:`~repro.runtime.scheduler.iter_routed_tasks` generator, which
+  publishes relations and mints descriptors as it goes).  Pool backends
+  submit each task the moment the iterable produces it, so the first
+  tasks execute while later ones are still being routed/published —
+  the pipelined-epoch overlap.  Results are yielded in submission
+  order.
+
+Failure contract (both APIs): a task that raises anything other than a
 :class:`repro.errors.ReproError` — or a worker process that dies — is
 converted into :class:`repro.errors.WorkerCrashed` so engines fail
-cleanly instead of hanging or leaking backend internals.
+cleanly instead of hanging or leaking backend internals.  A recoverable
+:class:`ReproError` (e.g. ``BudgetExceeded``) propagates unchanged and
+leaves the pool *and* the transport untouched: the engine's own
+teardown owns the epoch, so failed runs still report real data-plane
+counters.  Only a genuine crash (``BrokenProcessPool`` / non-ReproError)
+shuts the pool down — and even then the transport is never torn down
+from the submission path.
 
 Every executor also owns a data-plane :class:`Transport`
 (:mod:`repro.runtime.transport`) and exposes ``setup``/``teardown``
 lifecycle hooks.  ``teardown`` releases whatever the transport published
-(shared-memory segments under ``shm``) and is called from ``close()`` —
-including the failure path of ``map_tasks`` — so segments are reclaimed
-even when a worker task crashes mid-run.
+(shared-memory segments under ``shm``) and is called from ``close()``,
+so segments are reclaimed even when a worker task crashes mid-run.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     FIRST_EXCEPTION,
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..errors import ConfigError, ReproError, WorkerCrashed
 from .transport import Transport, create_transport
@@ -50,10 +70,32 @@ __all__ = [
     "create_executor",
     "executor_for",
     "available_parallelism",
+    "PIPELINE_ENV_VAR",
+    "default_pipeline",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Environment variable toggling pipelined epochs (default on).
+PIPELINE_ENV_VAR = "REPRO_PIPELINE"
+
+_PIPELINE_VALUES = {"on": True, "1": True, "true": True, "yes": True,
+                    "off": False, "0": False, "false": False, "no": False}
+
+
+def default_pipeline() -> bool:
+    """Pipelined-epoch default from ``REPRO_PIPELINE`` (on unless set)."""
+    raw = os.environ.get(PIPELINE_ENV_VAR)
+    if raw is None:
+        return True
+    value = _PIPELINE_VALUES.get(raw.strip().lower())
+    if value is None:
+        raise ConfigError(
+            f"{PIPELINE_ENV_VAR} must be one of "
+            f"{sorted(_PIPELINE_VALUES)}, got {raw!r}")
+    return value
+
 
 def available_parallelism() -> int:
     """CPUs this process may actually use (affinity-aware)."""
@@ -67,10 +109,27 @@ class Executor(ABC):
     """Runs a batch of worker tasks and returns their results in order."""
 
     name: str = "abstract"
+    #: Whether ``submit_tasks`` really executes tasks concurrently with
+    #: their production.  False here (and for ``serial``): the base
+    #: implementation runs tasks inline between mints, so there is no
+    #: overlap to measure.  Pool backends set True.
+    concurrent: bool = False
 
     def __init__(self, max_workers: int | None = None,
-                 transport: "Transport | str | None" = None):
-        self.max_workers = max(1, int(max_workers or 1))
+                 transport: "Transport | str | None" = None,
+                 pipeline: bool | None = None):
+        if max_workers is None:
+            max_workers = 1
+        max_workers = int(max_workers)
+        if max_workers < 1:
+            raise ConfigError(
+                f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        #: Whether engines should stream tasks through ``submit_tasks``
+        #: (pipelined epochs) instead of the ``map_tasks`` barrier;
+        #: None defers to ``REPRO_PIPELINE`` (default on).
+        self.pipeline = default_pipeline() if pipeline is None \
+            else bool(pipeline)
         self._transport: Transport | None = (
             create_transport(transport) if transport is not None else None)
 
@@ -93,6 +152,31 @@ class Executor(ABC):
         Raises :class:`ReproError` subclasses from tasks unchanged and
         wraps everything else in :class:`WorkerCrashed`.
         """
+
+    def submit_tasks(self, fn: Callable[[T], R], tasks: Iterable[T]
+                     ) -> Iterator[R]:
+        """Streaming variant of :meth:`map_tasks` for *lazy* task sources.
+
+        Consumes ``tasks`` (which may be a generator doing real work —
+        publishing relations, minting descriptors) and yields results in
+        submission order.  The base implementation executes each task
+        inline as soon as the iterable produces it (the serial
+        behaviour); pool backends override this to submit tasks as they
+        stream in, so execution overlaps with task production.
+
+        Same failure contract as :meth:`map_tasks`: ReproError
+        subclasses propagate unchanged, everything else becomes
+        :class:`WorkerCrashed`, and neither outcome tears down the
+        transport — the caller owns the epoch.
+        """
+        for i, task in enumerate(tasks):
+            try:
+                yield fn(task)
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise WorkerCrashed(i, f"{type(exc).__name__}: {exc}") \
+                    from exc
 
     def setup(self) -> None:
         """Acquire backend + transport resources ahead of time (idempotent)."""
@@ -142,9 +226,13 @@ class SerialExecutor(Executor):
 class _PoolExecutor(Executor):
     """Shared submit/collect logic for the two real pool backends."""
 
+    concurrent = True
+
     def __init__(self, max_workers: int | None = None,
-                 transport: "Transport | str | None" = None):
-        super().__init__(max_workers, transport=transport)
+                 transport: "Transport | str | None" = None,
+                 pipeline: bool | None = None):
+        super().__init__(max_workers, transport=transport,
+                         pipeline=pipeline)
         self._pool = None
 
     def _make_pool(self):  # pragma: no cover - overridden
@@ -159,6 +247,30 @@ class _PoolExecutor(Executor):
         super().setup()
         self._ensure_pool()
 
+    def _shutdown_pool(self) -> None:
+        """Discard the pool only — the transport (and its epoch counters)
+        stays alive, because the *engine* owns the epoch and must be able
+        to tear it down itself and read real ``last_epoch`` stats even
+        after a failed run."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _raise_failure(self, futures, failed) -> None:
+        """Re-raise a failed future per the shared failure contract."""
+        exc = failed.exception()
+        if isinstance(exc, ReproError):
+            # Recoverable (budget trips, modelled OOM, an already-wrapped
+            # WorkerCrashed): the pool itself is healthy — keep it.
+            raise exc
+        # Genuine crash: a broken pool (dead worker process) or an
+        # unexpected exception.  The pool may be unusable; discard it —
+        # but never the transport (the engine's teardown owns the epoch).
+        self._shutdown_pool()
+        raise WorkerCrashed(
+            futures.index(failed),
+            f"{type(exc).__name__}: {exc}") from exc
+
     def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
                   ) -> list[R]:
         tasks = list(tasks)
@@ -168,6 +280,8 @@ class _PoolExecutor(Executor):
         try:
             futures = [pool.submit(fn, t) for t in tasks]
         except Exception as exc:
+            if isinstance(exc, BrokenExecutor):
+                self._shutdown_pool()
             raise WorkerCrashed(-1, f"task submission failed: "
                                     f"{type(exc).__name__}: {exc}") from exc
         # Block until everything finished or something failed — healthy
@@ -181,21 +295,57 @@ class _PoolExecutor(Executor):
         if failed is not None:
             for f in pending:
                 f.cancel()
-            self.close()  # a broken/aborted pool cannot be reused
-            exc = failed.exception()
-            if isinstance(exc, ReproError):
-                raise exc
-            raise WorkerCrashed(
-                futures.index(failed),
-                f"{type(exc).__name__}: {exc}") from exc
+            self._raise_failure(futures, failed)
         # No exception => FIRST_EXCEPTION degenerated to ALL_COMPLETED,
         # so every result is ready and result() cannot block.
         return [future.result() for future in futures]
 
+    def submit_tasks(self, fn: Callable[[T], R], tasks: Iterable[T]
+                     ) -> Iterator[R]:
+        """Submit tasks as the (possibly lazy) iterable produces them.
+
+        Pool workers start executing the first tasks while the iterable
+        is still minting later ones — the coordinator/worker overlap of
+        pipelined epochs.  If an already-submitted task fails while the
+        stream is still being consumed, consumption stops early, pending
+        tasks are cancelled, and the failure is raised under the shared
+        contract.
+        """
+        pool = self._ensure_pool()
+        futures = []
+        abort = threading.Event()
+
+        def _watch(future) -> None:
+            if not future.cancelled() and future.exception() is not None:
+                abort.set()
+
+        try:
+            for task in tasks:
+                if abort.is_set():
+                    break
+                future = pool.submit(fn, task)
+                future.add_done_callback(_watch)
+                futures.append(future)
+        except Exception:
+            # The task *source* failed (publish error, routing bug):
+            # don't leave orphan tasks running against an epoch the
+            # caller is about to tear down.
+            for f in futures:
+                f.cancel()
+            raise
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (f for f in done if not f.cancelled()
+             and f.exception() is not None), None)
+        if failed is not None:
+            for f in pending:
+                f.cancel()
+            self._raise_failure(futures, failed)
+        for future in futures:
+            yield future.result()
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        self._shutdown_pool()
         super().close()
 
 
@@ -216,8 +366,10 @@ class ProcessExecutor(_PoolExecutor):
 
     def __init__(self, max_workers: int | None = None,
                  transport: "Transport | str | None" = None,
+                 pipeline: bool | None = None,
                  start_method: str | None = None):
-        super().__init__(max_workers, transport=transport)
+        super().__init__(max_workers, transport=transport,
+                         pipeline=pipeline)
         self.start_method = start_method
 
     def _make_pool(self):
@@ -249,13 +401,15 @@ def available_backends() -> tuple[str, ...]:
 
 def create_executor(backend: str, max_workers: int | None = None,
                     transport: "Transport | str | None" = None,
+                    pipeline: bool | None = None,
                     **kwargs) -> Executor:
     """Instantiate a backend by name
     (``serial``/``threads``/``processes``/``remote``).
 
     ``transport`` names (or supplies) the data plane; ``None`` defers to
     ``REPRO_TRANSPORT`` at first use (the ``remote`` backend defaults to
-    ``tcp`` instead).
+    ``tcp`` instead).  ``pipeline`` toggles pipelined epochs; ``None``
+    defers to ``REPRO_PIPELINE`` (default on).
     """
     cls = _BACKENDS.get(backend)
     if cls is None and backend in _LAZY_BACKENDS:
@@ -267,26 +421,28 @@ def create_executor(backend: str, max_workers: int | None = None,
         raise ConfigError(
             f"unknown runtime backend {backend!r}; "
             f"choose from {available_backends()}")
-    if cls is SerialExecutor:
-        return cls(max_workers, transport=transport)
-    return cls(max_workers, transport=transport, **kwargs)
+    return cls(max_workers, transport=transport, pipeline=pipeline,
+               **kwargs)
 
 
 def executor_for(cluster,
                  transport: "Transport | str | None" = None,
-                 hosts=None) -> Executor:
+                 hosts=None,
+                 pipeline: bool | None = None) -> Executor:
     """Executor matching a :class:`repro.distributed.Cluster`'s hint.
 
     The pool size is the cluster's worker count capped at the CPUs the
-    process may use — more processes than cores only adds contention.
-    The ``remote`` backend is not capped (its parallelism is the slots
-    the worker ``hosts`` advertise, not this machine's cores).
+    process may use — more pool members than cores only adds contention
+    (for threads the GIL makes surplus workers pure overhead).  The
+    ``remote`` backend is not capped (its parallelism is the slots the
+    worker ``hosts`` advertise, not this machine's cores).
     """
     workers = cluster.num_workers
     kwargs = {}
-    if cluster.runtime == "processes":
+    if cluster.runtime in ("processes", "threads"):
         workers = min(workers, available_parallelism())
     if cluster.runtime == "remote":
         kwargs["hosts"] = hosts
     return create_executor(cluster.runtime, max_workers=workers,
-                           transport=transport, **kwargs)
+                           transport=transport, pipeline=pipeline,
+                           **kwargs)

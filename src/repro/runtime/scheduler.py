@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..data.database import Database
 from ..distributed.hcube import HCubeRouting, HCubeShuffleResult
@@ -25,7 +25,8 @@ from .transport import PickleTransport, Transport
 from .worker import WorkerTask, WorkerTaskResult, execute_worker_task
 
 __all__ = ["MergedOutcome", "build_worker_tasks", "build_routed_tasks",
-           "merge_task_results", "run_worker_tasks"]
+           "iter_routed_tasks", "merge_task_results", "run_worker_tasks",
+           "run_streamed", "run_streamed_tasks"]
 
 
 @dataclass
@@ -67,6 +68,65 @@ def build_worker_tasks(shuffle: HCubeShuffleResult,
     return [tasks[w] for w in sorted(tasks)]
 
 
+def iter_routed_tasks(routing: HCubeRouting, db: Database,
+                      order: Sequence[str],
+                      budget: int | None = None,
+                      transport: Transport | None = None,
+                      cache_capacity: Callable[[int], int] | None = None
+                      ) -> Iterator[WorkerTask]:
+    """Stream worker tasks: yield each task as soon as its refs exist.
+
+    The pipelined-epoch task source.  Source relations are published
+    lazily — each the first time one of its refs is minted — and a
+    worker's :class:`~repro.runtime.worker.WorkerTask` is yielded the
+    moment all of its descriptors are mintable, so an executor consuming
+    this generator through
+    :meth:`~repro.runtime.executor.Executor.submit_tasks` starts
+    executing the first workers' tasks while later tasks are still
+    being published and sliced.  Task order, contents and transport
+    totals are identical to the barrier :func:`build_routed_tasks`
+    (which is implemented on top of this generator).
+
+    ``cache_capacity(worker_load)`` sizes an optional worker-local
+    intersection cache (HCubeJ+Cache).
+    """
+    transport = transport or PickleTransport()
+    grid = routing.grid
+    query = grid.query
+    local_query = routing.local_query
+    order = tuple(order)
+    num_atoms = len(query.atoms)
+    keys: dict[int, str] = {}
+
+    def key_for(ai: int) -> str:
+        key = keys.get(ai)
+        if key is None:
+            atom = query.atoms[ai]
+            key = transport.publish(f"rel:{atom.relation}",
+                                    db[atom.relation].data)
+            keys[ai] = key
+        return key
+
+    cubes_by_worker: dict[int, list[int]] = {}
+    for cube in range(grid.num_cubes):
+        cubes_by_worker.setdefault(grid.worker_of_cube(cube),
+                                   []).append(cube)
+    for worker in sorted(cubes_by_worker):
+        capacity = None
+        if cache_capacity is not None:
+            capacity = int(cache_capacity(
+                routing.worker_loads.get(worker, 0)))
+        task = WorkerTask(worker=worker, query=local_query,
+                          order=order, budget=budget,
+                          cache_capacity=capacity)
+        for cube in cubes_by_worker[worker]:
+            task.cubes.append(tuple(
+                transport.make_ref(key_for(ai),
+                                   routing.atom_rows[ai][cube])
+                for ai in range(num_atoms)))
+        yield task
+
+
 def build_routed_tasks(routing: HCubeRouting, db: Database,
                        order: Sequence[str],
                        budget: int | None = None,
@@ -78,34 +138,12 @@ def build_routed_tasks(routing: HCubeRouting, db: Database,
     Each source relation is published exactly once; tasks carry one
     :class:`~repro.runtime.transport.ArrayRef` per (atom, cube) instead
     of a materialized partition matrix, so partitioning happens on the
-    worker that owns the cube.  ``cache_capacity(worker_load)`` sizes an
-    optional worker-local intersection cache (HCubeJ+Cache).
+    worker that owns the cube.  The barrier counterpart of
+    :func:`iter_routed_tasks` — same tasks, fully materialized.
     """
-    transport = transport or PickleTransport()
-    grid = routing.grid
-    query = grid.query
-    local_query = routing.local_query
-    order = tuple(order)
-    keys = [transport.publish(f"rel:{atom.relation}",
-                              db[atom.relation].data)
-            for atom in query.atoms]
-    tasks: dict[int, WorkerTask] = {}
-    for cube in range(grid.num_cubes):
-        worker = grid.worker_of_cube(cube)
-        task = tasks.get(worker)
-        if task is None:
-            capacity = None
-            if cache_capacity is not None:
-                capacity = int(cache_capacity(
-                    routing.worker_loads.get(worker, 0)))
-            task = WorkerTask(worker=worker, query=local_query,
-                              order=order, budget=budget,
-                              cache_capacity=capacity)
-            tasks[worker] = task
-        task.cubes.append(tuple(
-            transport.make_ref(keys[ai], routing.atom_rows[ai][cube])
-            for ai in range(len(query.atoms))))
-    return [tasks[w] for w in sorted(tasks)]
+    return list(iter_routed_tasks(routing, db, order, budget=budget,
+                                  transport=transport,
+                                  cache_capacity=cache_capacity))
 
 
 def run_worker_tasks(executor: Executor, tasks: Sequence[WorkerTask],
@@ -117,6 +155,84 @@ def run_worker_tasks(executor: Executor, tasks: Sequence[WorkerTask],
     elapsed = time.perf_counter() - start
     if telemetry is not None:
         telemetry.record("local_join", elapsed)
+        for res in results:
+            telemetry.record_worker(res.worker, res.total_seconds)
+    return results
+
+
+def run_streamed(executor: Executor, fn: Callable,
+                 tasks: Iterable,
+                 telemetry: RuntimeTelemetry | None = None,
+                 mint_phase: str = "publish",
+                 run_phase: str = "local_join") -> list:
+    """Execute a *lazy* task stream, overlapping minting with execution.
+
+    ``tasks`` is typically a generator that does real coordinator work
+    per task (publishing source arrays, slicing partition refs).  The
+    stream is fed to :meth:`~repro.runtime.executor.Executor
+    .submit_tasks`, so pool backends execute early tasks while later
+    ones are still being minted.
+
+    Telemetry: coordinator time spent inside the generator is recorded
+    under ``mint_phase`` and the remaining wall-clock of the phase under
+    ``run_phase`` — so their sum stays comparable to the barrier path's
+    two phases.  The *overlap window* — the wall-clock between the first
+    task's submission and the completion of minting, i.e. how long task
+    production and task execution coexisted (zero, by construction, on
+    the barrier path) — accumulates into
+    :attr:`~repro.runtime.telemetry.RuntimeTelemetry.overlap_seconds`.
+    Overlap is only recorded for executors that actually run streamed
+    tasks concurrently (``executor.concurrent``): the serial backend
+    executes each task inline between mints, so its window would count
+    plain execution time as overlap.
+    """
+    start = time.perf_counter()
+    mint_seconds = 0.0
+    first_submit: float | None = None
+    last_mint = start
+
+    def timed_stream():
+        nonlocal mint_seconds, first_submit, last_mint
+        iterator = iter(tasks)
+        while True:
+            t0 = time.perf_counter()
+            try:
+                task = next(iterator)
+            except StopIteration:
+                last_mint = time.perf_counter()
+                mint_seconds += last_mint - t0
+                return
+            now = time.perf_counter()
+            mint_seconds += now - t0
+            last_mint = now
+            if first_submit is None:
+                first_submit = now
+            yield task
+
+    results = list(executor.submit_tasks(fn, timed_stream()))
+    elapsed = time.perf_counter() - start
+    if telemetry is not None:
+        telemetry.record(mint_phase, mint_seconds)
+        telemetry.record(run_phase, max(0.0, elapsed - mint_seconds))
+        if first_submit is not None and getattr(executor, "concurrent",
+                                                False):
+            telemetry.record_overlap(max(0.0, last_mint - first_submit))
+    return results
+
+
+def run_streamed_tasks(executor: Executor,
+                       tasks: Iterable[WorkerTask],
+                       telemetry: RuntimeTelemetry | None = None
+                       ) -> list[WorkerTaskResult]:
+    """Streamed counterpart of :func:`run_worker_tasks`.
+
+    Same result list and worker telemetry; additionally records the
+    mint/execute overlap (see :func:`run_streamed`).
+    """
+    results = run_streamed(executor, execute_worker_task, tasks,
+                           telemetry=telemetry,
+                           mint_phase="publish", run_phase="local_join")
+    if telemetry is not None:
         for res in results:
             telemetry.record_worker(res.worker, res.total_seconds)
     return results

@@ -36,6 +36,13 @@ class RuntimeTelemetry:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     worker_seconds: dict[int, float] = field(default_factory=dict)
     tasks_executed: int = 0
+    #: Wall-clock during which task *production* (routing/publishing/
+    #: descriptor minting on the coordinator) and task *execution*
+    #: coexisted — the pipelined-epoch overlap window.  Not a phase:
+    #: it measures concurrency between phases, so it is excluded from
+    #: :attr:`total` (which would double-count it).  Zero on the
+    #: barrier path by construction.
+    overlap_seconds: float = 0.0
 
     @property
     def total(self) -> float:
@@ -59,6 +66,10 @@ class RuntimeTelemetry:
             self.worker_seconds.get(worker, 0.0) + seconds
         self.tasks_executed += 1
 
+    def record_overlap(self, seconds: float) -> None:
+        """Accumulate pipelined mint/execute overlap (see field doc)."""
+        self.overlap_seconds += max(0.0, seconds)
+
     @contextmanager
     def measure(self, phase: str):
         """Time a ``with`` block into ``phase`` (exceptions still count)."""
@@ -71,6 +82,7 @@ class RuntimeTelemetry:
     def as_row(self) -> dict[str, float]:
         row = {f"measured_{k}": v for k, v in self.phase_seconds.items()}
         row["measured_total"] = self.total
+        row["measured_overlap"] = self.overlap_seconds
         return row
 
     def __str__(self) -> str:

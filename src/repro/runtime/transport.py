@@ -41,6 +41,7 @@ does — fancy indexing copies) and never unlink.
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -209,7 +210,16 @@ class TransportStats:
 
 
 class Transport(ABC):
-    """Stages source arrays and mints worker-facing descriptors."""
+    """Stages source arrays and mints worker-facing descriptors.
+
+    Thread-safety contract (pipelined epochs): ``publish``, ``make_ref``
+    and ``teardown`` may be called from concurrent coordinator threads —
+    the parallel routing pool publishes sources while the streaming
+    scheduler mints descriptors.  Implementations serialize staging and
+    stats updates on :attr:`_lock` (a re-entrant lock, so a locked
+    ``publish`` may call locked helpers).  Workers only *resolve* refs
+    (read-only) and need no lock.
+    """
 
     name: str = "abstract"
 
@@ -220,6 +230,9 @@ class Transport(ABC):
         #: epoch's resources, so per-run ``data_plane`` reports include
         #: teardown-time counters (blocks freed, bytes workers fetched).
         self.last_epoch = TransportStats()
+        #: Serializes publish/make_ref/teardown across coordinator
+        #: threads (see class docstring).
+        self._lock = threading.RLock()
 
     def setup(self) -> None:
         """Acquire transport resources (idempotent; optional)."""
@@ -242,8 +255,9 @@ class Transport(ABC):
         immediately after their own teardown, so per-run ``data_plane``
         reports include teardown-time counters.
         """
-        self.last_epoch = self.stats
-        self.stats = TransportStats()
+        with self._lock:
+            self.last_epoch = self.stats
+            self.stats = TransportStats()
 
     def __enter__(self) -> "Transport":
         self.setup()
@@ -258,8 +272,9 @@ class Transport(ABC):
     # -- shared helpers --------------------------------------------------------
 
     def _record_shipped(self, ref: ArrayRef) -> ArrayRef:
-        self.stats.shipped_refs += 1
-        self.stats.shipped_bytes += ref.payload_bytes
+        with self._lock:
+            self.stats.shipped_refs += 1
+            self.stats.shipped_bytes += ref.payload_bytes
         return ref
 
     @staticmethod
@@ -279,13 +294,15 @@ class PickleTransport(Transport):
         self._published: dict[str, np.ndarray] = {}
 
     def publish(self, key: str, array: np.ndarray) -> str:
-        if key not in self._published:
-            self._published[key] = np.ascontiguousarray(array)
+        with self._lock:
+            if key not in self._published:
+                self._published[key] = np.ascontiguousarray(array)
         return key
 
     def make_ref(self, key: str, rows: np.ndarray | None = None
                  ) -> ArrayRef:
-        src = self._published[key]
+        with self._lock:
+            src = self._published[key]
         rows = self._normalize_rows(rows)
         part = src if rows is None else np.ascontiguousarray(src[rows])
         ref = ArrayRef(kind="inline", shape=tuple(part.shape),
@@ -293,8 +310,9 @@ class PickleTransport(Transport):
         return self._record_shipped(ref)
 
     def teardown(self) -> None:
-        self._published.clear()
-        super().teardown()
+        with self._lock:
+            self._published.clear()
+            super().teardown()
 
 
 class SharedMemoryTransport(Transport):
@@ -314,25 +332,28 @@ class SharedMemoryTransport(Transport):
         return tuple(self._segments)
 
     def publish(self, key: str, array: np.ndarray) -> str:
-        if key in self._meta:
-            return key
-        arr = np.ascontiguousarray(array)
-        if arr.nbytes == 0:
-            # SharedMemory cannot hold zero bytes; empty arrays ship as
-            # (tiny) inline refs instead.
-            self._meta[key] = (None, tuple(arr.shape), str(arr.dtype))
-            return key
-        seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
-        np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
-        self._segments[seg.name] = seg
-        self._meta[key] = (seg.name, tuple(arr.shape), str(arr.dtype))
-        self.stats.published_blocks += 1
-        self.stats.published_bytes += int(arr.nbytes)
+        with self._lock:
+            if key in self._meta:
+                return key
+            arr = np.ascontiguousarray(array)
+            if arr.nbytes == 0:
+                # SharedMemory cannot hold zero bytes; empty arrays ship
+                # as (tiny) inline refs instead.
+                self._meta[key] = (None, tuple(arr.shape), str(arr.dtype))
+                return key
+            seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            np.ndarray(arr.shape, dtype=arr.dtype,
+                       buffer=seg.buf)[...] = arr
+            self._segments[seg.name] = seg
+            self._meta[key] = (seg.name, tuple(arr.shape), str(arr.dtype))
+            self.stats.published_blocks += 1
+            self.stats.published_bytes += int(arr.nbytes)
         return key
 
     def make_ref(self, key: str, rows: np.ndarray | None = None
                  ) -> ArrayRef:
-        block, shape, dtype = self._meta[key]
+        with self._lock:
+            block, shape, dtype = self._meta[key]
         rows = self._normalize_rows(rows)
         if block is None or (rows is not None and rows.shape[0] == 0):
             empty_shape = ((0,) + shape[1:]) if rows is not None else shape
@@ -344,16 +365,17 @@ class SharedMemoryTransport(Transport):
         return self._record_shipped(ref)
 
     def teardown(self) -> None:
-        for seg in self._segments.values():
-            try:
-                seg.close()
-                seg.unlink()
-                self.stats.freed_blocks += 1
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._segments.clear()
-        self._meta.clear()
-        super().teardown()
+        with self._lock:
+            for seg in self._segments.values():
+                try:
+                    seg.close()
+                    seg.unlink()
+                    self.stats.freed_blocks += 1
+                except FileNotFoundError:  # pragma: no cover - gone
+                    pass
+            self._segments.clear()
+            self._meta.clear()
+            super().teardown()
 
 
 @dataclass(frozen=True)

@@ -248,6 +248,8 @@ class TestJoinSession:
 
         monkeypatch.setattr(one_round_mod, "run_worker_tasks",
                             crashing_run)
+        monkeypatch.setattr(one_round_mod, "run_streamed_tasks",
+                            crashing_run)
         query, db = graph_case("Q1", seed=3)
         with JoinSession(workers=2, backend="threads",
                          transport="pickle") as session:

@@ -1,0 +1,496 @@
+"""Pipelined epochs: streaming submit_tasks, parity with the barrier
+path, and the failure-path regressions the barrier was hiding.
+
+The headline invariant: for every engine, every transport and every
+query, ``pipeline=on`` (streamed tasks, parallel routing, overlapped
+publish) produces bit-identical counts, ``level_tuples`` and data-plane
+totals to ``pipeline=off`` (the historical route -> publish -> execute
+barriers).  Failure paths must leave the pool reusable after recoverable
+errors and must never zero the epoch's data-plane counters.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Database, Relation
+from repro.distributed import Cluster, HypercubeGrid
+from repro.distributed.hcube import hcube_route
+from repro.engines import (
+    ADJ,
+    BigJoin,
+    HCubeJ,
+    HCubeJCache,
+    SparkSQLJoin,
+    YannakakisJoin,
+    run_engine_safely,
+)
+from repro.errors import BudgetExceeded, ConfigError, WorkerCrashed
+from repro.query import paper_query
+from repro.runtime import (
+    SerialExecutor,
+    ThreadExecutor,
+    build_routed_tasks,
+    create_executor,
+    iter_routed_tasks,
+    merge_task_results,
+    run_streamed_tasks,
+)
+from repro.runtime.executor import default_pipeline
+from repro.runtime.transport import (
+    PickleTransport,
+    SharedMemoryTransport,
+)
+from repro.wcoj import leapfrog_join
+
+TRANSPORTS = ("pickle", "shm", "tcp")
+
+
+def graph_case(query_name, seed=0, n=150, dom=25):
+    query = paper_query(query_name)
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, dom, size=(n, 2))
+    db = Database(Relation(a.relation, ("x", "y"), edges)
+                  for a in query.atoms)
+    return query, db
+
+
+def engine_lineup():
+    return (HCubeJ(), HCubeJCache(), BigJoin(), SparkSQLJoin(),
+            YannakakisJoin(), ADJ(num_samples=10))
+
+
+# -- top-level task functions (picklable) -------------------------------------
+
+def _double(x):
+    return x * 2
+
+
+def _budget_trip(x):
+    raise BudgetExceeded(100, 10)
+
+
+def _boom(x):
+    raise RuntimeError(f"boom on {x}")
+
+
+# -- streaming executor API ---------------------------------------------------
+
+class TestSubmitTasks:
+    @pytest.mark.parametrize("backend",
+                             ("serial", "threads", "processes"))
+    def test_results_keep_submission_order(self, backend):
+        with create_executor(backend, 2) as ex:
+            assert list(ex.submit_tasks(_double, iter(range(7)))) \
+                == [0, 2, 4, 6, 8, 10, 12]
+
+    def test_lazy_source_is_consumed_lazily(self):
+        """Pool backends submit tasks as the generator produces them —
+        execution of early tasks starts before the stream ends."""
+        started = threading.Event()
+
+        def traced(x):
+            started.set()
+            return x
+
+        minted = []
+
+        def stream():
+            yield 0
+            # The first task should already be on the pool by the time
+            # the second is minted (no barrier on the full list).
+            started.wait(timeout=5.0)
+            minted.append(started.is_set())
+            yield 1
+
+        with ThreadExecutor(2) as ex:
+            assert list(ex.submit_tasks(traced, stream())) == [0, 1]
+        assert minted == [True]
+
+    @pytest.mark.parametrize("backend", ("serial", "threads"))
+    def test_empty_stream(self, backend):
+        with create_executor(backend, 2) as ex:
+            assert list(ex.submit_tasks(_double, iter(()))) == []
+
+    @pytest.mark.parametrize("backend", ("serial", "threads"))
+    def test_crash_becomes_worker_crashed(self, backend):
+        with create_executor(backend, 2) as ex:
+            with pytest.raises(WorkerCrashed, match="boom"):
+                list(ex.submit_tasks(_boom, iter([7])))
+
+    def test_reproerror_passes_through(self):
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(BudgetExceeded):
+                list(ex.submit_tasks(_budget_trip, iter([1])))
+
+    def test_failure_stops_consuming_the_stream(self):
+        """A mid-stream failure cancels pending work: the source is not
+        drained to the end once a submitted task has failed."""
+        minted = []
+
+        def slow_stream():
+            for i in range(20):
+                minted.append(i)
+                yield "boom" if i == 0 else i
+                time.sleep(0.05)
+
+        def fail_fast(x):
+            if x == "boom":
+                raise RuntimeError("boom fast")
+            return x
+
+        with ThreadExecutor(1) as ex:
+            with pytest.raises(WorkerCrashed, match="boom fast"):
+                list(ex.submit_tasks(fail_fast, slow_stream()))
+        assert len(minted) < 20
+
+    def test_source_failure_cancels_submitted_tasks(self):
+        """The task *source* raising propagates unchanged."""
+        def broken_stream():
+            yield 1
+            raise ValueError("mint failed")
+
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(ValueError, match="mint failed"):
+                list(ex.submit_tasks(_double, broken_stream()))
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.integers(-1000, 1000), max_size=30))
+    def test_streamed_equals_barrier(self, values):
+        """Property: submit_tasks ≡ map_tasks for any task list."""
+        with ThreadExecutor(2) as ex:
+            assert list(ex.submit_tasks(_double, iter(values))) \
+                == ex.map_tasks(_double, values)
+
+
+class TestFailurePathRegressions:
+    """The `map_tasks closes a healthy pool` bug (ISSUE 5, satellite 1)."""
+
+    def test_recoverable_failure_keeps_pool_and_transport(self):
+        transport = SharedMemoryTransport()
+        with ThreadExecutor(2, transport=transport) as ex:
+            transport.publish("k", np.arange(6, dtype=np.int64))
+            with pytest.raises(BudgetExceeded):
+                ex.map_tasks(_budget_trip, [1, 2])
+            # The pool survived a recoverable error...
+            assert ex._pool is not None
+            assert ex.map_tasks(_double, [3]) == [6]
+            # ...and the transport's epoch was NOT torn down mid-engine:
+            # the current stats still hold the published block.
+            assert transport.stats.published_blocks == 1
+            assert transport.active_segments != ()
+
+    def test_crash_closes_pool_but_never_transport(self):
+        transport = SharedMemoryTransport()
+        with ThreadExecutor(2, transport=transport) as ex:
+            transport.publish("k", np.arange(6, dtype=np.int64))
+            with pytest.raises(WorkerCrashed):
+                ex.map_tasks(_boom, [1])
+            assert ex._pool is None          # genuine crash: pool gone
+            assert transport.stats.published_blocks == 1   # epoch alive
+            # A fresh pool is created transparently on next use.
+            assert ex.map_tasks(_double, [4]) == [8]
+
+    def test_failure_before_transport_use_reports_no_stale_plane(self):
+        """A failure that never touched the transport must not inherit
+        the previous run's frozen epoch counters."""
+        query, db = graph_case("Q1", seed=7)
+        with create_executor("threads", 2, transport="shm") as ex:
+            ok = run_engine_safely(HCubeJ(), query, db,
+                                   Cluster(num_workers=2), executor=ex)
+            assert ok.ok and ok.data_plane["published_bytes"] > 0
+            # OOM trips inside hcube_route, before any publish happens.
+            oom = run_engine_safely(
+                HCubeJ(), query, db,
+                Cluster(num_workers=2, memory_tuples_per_worker=1.0),
+                executor=ex)
+            assert oom.failure == "oom"
+            assert oom.data_plane is None
+
+    def test_serial_streaming_claims_no_overlap(self):
+        """Inline execution between mints is not concurrency: the
+        serial backend must report overlap_seconds == 0."""
+        query, db = graph_case("Q1", seed=7)
+        with create_executor("serial", 2, transport="shm",
+                             pipeline=True) as ex:
+            result = HCubeJ().run(query, db, Cluster(num_workers=2),
+                                  executor=ex)
+        assert result.ok
+        assert result.telemetry.overlap_seconds == 0.0
+
+    @pytest.mark.parametrize("pipeline", (False, True))
+    def test_budget_tripped_run_reports_real_data_plane(self, pipeline):
+        """Regression: a budget-failed run must report what it actually
+        published, not zeros."""
+        query, db = graph_case("Q1", seed=7, n=300, dom=40)
+        cluster = Cluster(num_workers=2)
+        with create_executor("threads", 2, transport="shm",
+                             pipeline=pipeline) as ex:
+            result = run_engine_safely(HCubeJ(work_budget=3), query, db,
+                                       cluster, executor=ex)
+            assert result.failure == "budget"
+            plane = result.data_plane
+            assert plane is not None and plane["transport"] == "shm"
+            assert plane["published_bytes"] == sum(
+                db[a.relation].nbytes for a in query.atoms)
+            assert plane["freed_blocks"] == plane["published_blocks"] > 0
+            # The executor survives for the next query of the session.
+            assert ex.map_tasks(_double, [5]) == [10]
+
+
+# -- streamed scheduler -------------------------------------------------------
+
+def _routing(query_name="Q1", workers=3, seed=1):
+    query, db = graph_case(query_name, seed=seed)
+    shares = {a: 1 for a in query.attributes}
+    shares[query.attributes[0]] = workers
+    grid = HypercubeGrid(query, shares, workers)
+    return query, db, hcube_route(query, db, grid)
+
+
+class TestStreamedScheduler:
+    def test_iter_routed_tasks_equals_build_routed_tasks(self):
+        query, db, routing = _routing()
+        t_barrier, t_stream = PickleTransport(), PickleTransport()
+        barrier = build_routed_tasks(routing, db, query.attributes,
+                                     transport=t_barrier)
+        streamed = list(iter_routed_tasks(routing, db, query.attributes,
+                                          transport=t_stream))
+        assert [t.worker for t in streamed] == \
+            [t.worker for t in barrier]
+        for ts, tb in zip(streamed, barrier):
+            assert len(ts.cubes) == len(tb.cubes)
+            for cs, cb in zip(ts.cubes, tb.cubes):
+                for rs, rb in zip(cs, cb):
+                    assert rs.num_rows == rb.num_rows
+                    np.testing.assert_array_equal(rs.data, rb.data)
+        assert t_stream.stats.as_dict() == t_barrier.stats.as_dict()
+
+    def test_streamed_results_match_barrier_results(self):
+        query, db, routing = _routing("Q9")
+        truth = leapfrog_join(query, db).count
+        with SerialExecutor(3) as ex:
+            streamed = run_streamed_tasks(
+                ex, iter_routed_tasks(routing, db, query.attributes,
+                                      transport=ex.transport))
+        merged = merge_task_results(streamed, query.num_attributes)
+        assert merged.count == truth
+
+    def test_parallel_routing_identical_to_serial(self):
+        query, db = graph_case("Q9", seed=3)
+        shares = {a: 1 for a in query.attributes}
+        shares[query.attributes[0]] = 2
+        shares[query.attributes[1]] = 2
+        grid = HypercubeGrid(query, shares, 4)
+        serial = hcube_route(query, db, grid, routing_threads=None)
+        threaded = hcube_route(query, db, grid, routing_threads=4)
+        assert serial.stats == threaded.stats
+        assert serial.worker_loads == threaded.worker_loads
+        for a_serial, a_threaded in zip(serial.atom_rows,
+                                        threaded.atom_rows):
+            for r_serial, r_threaded in zip(a_serial, a_threaded):
+                np.testing.assert_array_equal(r_serial, r_threaded)
+
+    def test_itemsize_respected_in_bytes_accounting(self):
+        """Satellite: bytes_copied uses the relation's real dtype width,
+        not a hardcoded 8 bytes/element."""
+        query = paper_query("Q1")
+        rng = np.random.default_rng(5)
+        edges64 = rng.integers(0, 30, size=(200, 2))
+
+        class StubRel:
+            def __init__(self, name, data):
+                self.name, self.data, self.arity = name, data, 2
+
+        class StubDB:
+            def __init__(self, dtype):
+                self.dtype = dtype
+
+            def __getitem__(self, name):
+                return StubRel(name, edges64.astype(self.dtype))
+
+        grid = HypercubeGrid(query, {a: 2 for a in query.attributes}, 4)
+        wide = hcube_route(query, StubDB(np.int64), grid)
+        narrow = hcube_route(query, StubDB(np.int32), grid)
+        assert wide.stats.tuple_copies == narrow.stats.tuple_copies
+        assert wide.stats.bytes_copied == 2 * narrow.stats.bytes_copied
+        assert narrow.stats.bytes_copied \
+            == narrow.stats.tuple_copies * 2 * 4
+
+
+# -- engine parity: pipelined ≡ barrier ---------------------------------------
+
+#: data_plane keys that must be identical between the two paths
+#: (fetch counters are excluded: worker-side tcp fetch caching is
+#: per-process and timing-dependent under streaming).
+_PLANE_KEYS = ("published_blocks", "published_bytes", "shipped_refs",
+               "shipped_bytes", "transport")
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("query_name", ["Q1", "Q9"])
+    def test_all_engines_identical_to_barrier(self, query_name,
+                                              transport):
+        """Counts, level_tuples, modeled costs and data-plane totals are
+        identical with the pipeline on and off, for all six engines."""
+        query, db = graph_case(query_name, seed=11)
+        truth = leapfrog_join(query, db).count
+        cluster = Cluster(num_workers=3)
+        outcomes = {}
+        for pipeline in (False, True):
+            with create_executor("threads", 2, transport=transport,
+                                 pipeline=pipeline) as ex:
+                assert ex.pipeline is pipeline
+                for engine in engine_lineup():
+                    result = run_engine_safely(engine, query, db,
+                                               cluster, executor=ex)
+                    assert result.ok, (engine.name, transport, pipeline,
+                                       result.failure)
+                    outcomes[(engine.name, pipeline)] = result
+        for engine in engine_lineup():
+            off = outcomes[(engine.name, False)]
+            on = outcomes[(engine.name, True)]
+            assert on.count == off.count == truth, engine.name
+            assert on.breakdown.total == pytest.approx(
+                off.breakdown.total), engine.name
+            if "level_tuples" in off.extra:
+                assert on.extra["level_tuples"] \
+                    == off.extra["level_tuples"], engine.name
+            plane_on, plane_off = on.data_plane, off.data_plane
+            assert plane_on is not None and plane_off is not None
+            for key in _PLANE_KEYS:
+                assert plane_on[key] == plane_off[key], \
+                    (engine.name, transport, key)
+            # Overlap telemetry exists only on the pipelined path.
+            assert off.telemetry.overlap_seconds == 0.0
+            assert on.telemetry.overlap_seconds >= 0.0
+
+    def test_cache_hit_stats_match_barrier(self):
+        query, db = graph_case("Q1", seed=13)
+        cluster = Cluster(num_workers=2)
+        results = {}
+        for pipeline in (False, True):
+            with create_executor("serial", 2, transport="shm",
+                                 pipeline=pipeline) as ex:
+                results[pipeline] = HCubeJCache().run(query, db, cluster,
+                                                      executor=ex)
+        assert results[True].count == results[False].count
+        assert results[True].extra["cache_hits"] \
+            == results[False].extra["cache_hits"]
+        assert results[True].extra["cache_misses"] \
+            == results[False].extra["cache_misses"]
+
+
+class TestCrashMidStream:
+    def test_segments_reclaimed_after_midstream_crash(self, monkeypatch):
+        """A crash while tasks are still streaming cancels pending work
+        and the engine's teardown still reclaims every shm segment."""
+        import repro.runtime.scheduler as scheduler_mod
+
+        def crashing_task(task):
+            raise RuntimeError("worker died mid-stream")
+
+        monkeypatch.setattr(scheduler_mod, "execute_worker_task",
+                            crashing_task)
+        query, db = graph_case("Q1", seed=8)
+        transport = SharedMemoryTransport()
+        with ThreadExecutor(2, transport=transport,
+                            pipeline=True) as ex:
+            result = run_engine_safely(HCubeJ(), query, db,
+                                       Cluster(num_workers=2),
+                                       executor=ex)
+        assert result.failure == "crash"
+        assert transport.active_segments == ()
+        plane = result.data_plane
+        assert plane is not None and plane["published_bytes"] > 0
+        assert plane["freed_blocks"] == plane["published_blocks"] > 0
+
+    def test_tcp_store_stopped_after_midstream_crash(self, monkeypatch):
+        import repro.runtime.scheduler as scheduler_mod
+        from repro.net.transport import TcpTransport
+
+        def crashing_task(task):
+            raise RuntimeError("worker died mid-stream")
+
+        monkeypatch.setattr(scheduler_mod, "execute_worker_task",
+                            crashing_task)
+        query, db = graph_case("Q1", seed=9)
+        transport = TcpTransport()
+        with ThreadExecutor(2, transport=transport,
+                            pipeline=True) as ex:
+            result = run_engine_safely(HCubeJ(), query, db,
+                                       Cluster(num_workers=2),
+                                       executor=ex)
+        assert result.failure == "crash"
+        # The owned block store is gone — no listening port left behind.
+        assert transport.store_address is None
+        plane = result.data_plane
+        assert plane is not None
+        assert plane["freed_blocks"] == plane["published_blocks"] > 0
+
+
+# -- config / CLI surface -----------------------------------------------------
+
+class TestPipelineConfig:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PIPELINE", raising=False)
+        assert default_pipeline() is True
+        monkeypatch.setenv("REPRO_PIPELINE", "off")
+        assert default_pipeline() is False
+        monkeypatch.setenv("REPRO_PIPELINE", "ON")
+        assert default_pipeline() is True
+        monkeypatch.setenv("REPRO_PIPELINE", "sideways")
+        with pytest.raises(ConfigError, match="REPRO_PIPELINE"):
+            default_pipeline()
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PIPELINE", "off")
+        with create_executor("serial", 1, pipeline=True) as ex:
+            assert ex.pipeline is True
+        with create_executor("serial", 1) as ex:
+            assert ex.pipeline is False
+
+    def test_run_config_field(self, monkeypatch):
+        from repro.api import RunConfig
+
+        monkeypatch.delenv("REPRO_PIPELINE", raising=False)
+        assert RunConfig().pipeline is True
+        monkeypatch.setenv("REPRO_PIPELINE", "off")
+        assert RunConfig().pipeline is False
+        assert RunConfig(pipeline=True).pipeline is True
+
+    def test_session_plumbs_pipeline_to_executor(self):
+        from repro.api import JoinSession
+
+        with JoinSession(workers=2, backend="threads",
+                         transport="pickle", pipeline=False) as session:
+            assert session.config.pipeline is False
+            assert session.executor().pipeline is False
+
+    def test_bad_max_workers_rejected(self):
+        """Satellite: silent coercion of max_workers<1 is gone."""
+        for bad in (0, -3):
+            with pytest.raises(ConfigError, match="max_workers"):
+                SerialExecutor(bad)
+            with pytest.raises(ConfigError, match="max_workers"):
+                ThreadExecutor(bad)
+        assert SerialExecutor(None).max_workers == 1
+
+    def test_cli_pipeline_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "wb", "Q1", "--engine", "hcubej",
+                     "--scale", "1e-5", "--samples", "10",
+                     "--backend", "threads", "--pipeline", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline=off" in out
+        assert main(["run", "wb", "Q1", "--engine", "hcubej",
+                     "--scale", "1e-5", "--samples", "10",
+                     "--backend", "threads", "--pipeline", "on"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline=on" in out

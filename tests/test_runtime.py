@@ -114,7 +114,12 @@ class TestExecutors:
     def test_executor_for_cluster_hint(self):
         assert executor_for(Cluster(num_workers=2)).name == "serial"
         ex = executor_for(Cluster(num_workers=2, runtime="threads"))
-        assert ex.name == "threads" and ex.max_workers == 2
+        assert ex.name == "threads"
+        # Pool backends are capped at the CPUs the process may use —
+        # surplus threads are pure GIL contention.
+        assert ex.max_workers == min(2, available_parallelism())
+        ex = executor_for(Cluster(num_workers=64, runtime="threads"))
+        assert ex.max_workers <= max(available_parallelism(), 1)
         ex = executor_for(Cluster(num_workers=64, runtime="processes"))
         assert ex.max_workers <= max(available_parallelism(), 1)
 
@@ -354,6 +359,8 @@ class TestEngineBackends:
 
         import repro.engines.one_round as one_round_mod
         monkeypatch.setattr(one_round_mod, "run_worker_tasks",
+                            crashing_run)
+        monkeypatch.setattr(one_round_mod, "run_streamed_tasks",
                             crashing_run)
         query, db = graph_case("Q1", seed=8)
         cluster = Cluster(num_workers=2)

@@ -198,6 +198,8 @@ class TestRoutedTasks:
 
         monkeypatch.setattr(one_round_mod, "run_worker_tasks",
                             crashing_run)
+        monkeypatch.setattr(one_round_mod, "run_streamed_tasks",
+                            crashing_run)
         query, db, _ = self._routing()
         t = SharedMemoryTransport()
         with ThreadExecutor(2, transport=t) as ex:
