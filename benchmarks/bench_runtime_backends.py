@@ -31,7 +31,12 @@ the table records the honest — smaller — ratios next to the
 available-core count.
 
 Run:  PYTHONPATH=src python benchmarks/bench_runtime_backends.py
-      [--json BENCH_runtime.json]
+      [--json BENCH_runtime.json] [--trace-dir traces/]
+
+``--trace-dir`` additionally writes one Chrome trace-event JSON per
+(backend, transport, workers, pipeline) config — the pipelined overlap
+window is directly visible in Perfetto as worker-task spans crossing
+the coordinator's publish spans.
 Env:  REPRO_BENCH_SKEW_EDGES (default 12000),
       REPRO_BENCH_RUNTIME_WORKERS (default "1,2,4"),
       REPRO_BENCH_HOSTS (optional "host:port,..." — adds a
@@ -54,6 +59,8 @@ from repro.data import Database, Relation
 from repro.data.datasets import generate_power_law_edges
 from repro.distributed import Cluster
 from repro.engines import HCubeJ, run_engine_safely
+from repro.obs.tracing import NOOP_TRACER, Tracer, use_tracer, \
+    write_chrome_trace
 from repro.query import paper_query
 from repro.runtime import available_parallelism, create_executor
 
@@ -81,18 +88,26 @@ def skew_testcase():
 
 
 def _run_once(query, db, cluster, backend, transport, workers,
-              pipeline) -> dict:
+              pipeline, trace_dir=None) -> dict:
     kwargs = {"hosts": REMOTE_HOSTS} if backend == "remote" else {}
     executor = create_executor(backend, max_workers=workers,
                                transport=transport, pipeline=pipeline,
                                **kwargs)
+    tracer = Tracer() if trace_dir else None
     try:
         start = time.perf_counter()
-        result = run_engine_safely(HCubeJ(), query, db, cluster,
-                                   executor=executor)
+        with use_tracer(tracer if tracer is not None else NOOP_TRACER):
+            result = run_engine_safely(HCubeJ(), query, db, cluster,
+                                       executor=executor)
         measured = time.perf_counter() - start
     finally:
         executor.close()
+    if tracer is not None:
+        pipe = "on" if pipeline else "off"
+        path = os.path.join(
+            trace_dir,
+            f"trace_{backend}_{transport}_w{workers}_pipe-{pipe}.json")
+        write_chrome_trace(path, tracer.spans)
     assert result.ok, \
         f"{backend}/{transport}/pipeline={pipeline} failed: " \
         f"{result.failure}"
@@ -117,7 +132,7 @@ def _run_once(query, db, cluster, backend, transport, workers,
     }
 
 
-def run_backends():
+def run_backends(trace_dir=None):
     """Sweep backends x transports x workers x pipeline; return records."""
     query, db = skew_testcase()
     records = []
@@ -132,7 +147,8 @@ def run_backends():
                     continue  # agents may not share this host's memory
                 for pipeline in PIPELINE_SWEEP:
                     rec = _run_once(query, db, cluster, backend,
-                                    transport, workers, pipeline)
+                                    transport, workers, pipeline,
+                                    trace_dir=trace_dir)
                     counts.add(rec["count"])
                     key = (workers, transport, rec["pipeline"])
                     if backend == "serial":
@@ -180,9 +196,16 @@ def main(argv=None) -> None:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write machine-readable records "
                              "(e.g. BENCH_runtime.json)")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="write one Chrome trace-event JSON per "
+                             "(backend, transport, workers, pipeline) "
+                             "config into DIR — load in Perfetto to "
+                             "see the pipelined overlap window")
     args = parser.parse_args(argv)
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
     cores = available_parallelism()
-    records = run_backends()
+    records = run_backends(trace_dir=args.trace_dir)
     rows = [[r["backend"], r["transport"], r["workers"], r["pipeline"],
              f"{r['count']:,}",
              f"{r['modeled_seconds']:.4f}",

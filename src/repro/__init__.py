@@ -47,6 +47,7 @@ from .engines import (
     registry,
 )
 from .ghd import optimal_hypertree
+from .obs import METRICS, Tracer, configure_logging, get_logger
 from .query import Atom, JoinQuery, paper_query, parse_query
 from .runtime import (
     Executor,
@@ -112,6 +113,10 @@ __all__ = [
     "TcpTransport",
     "WorkerAgent",
     "RuntimeTelemetry",
+    "Tracer",
+    "METRICS",
+    "get_logger",
+    "configure_logging",
     "create_executor",
     "executor_for",
     "optimal_hypertree",

@@ -26,6 +26,9 @@ Environment variables::
     REPRO_WORK_BUDGET  Leapfrog work budget           (default None)
     REPRO_MEMORY_TUPLES per-worker memory budget      (default None)
     REPRO_PIPELINE     pipelined epochs: on | off     (default on)
+    REPRO_TRACE        Chrome-trace output path       (default None)
+    REPRO_LOG          log level for the repro.* loggers
+                                                      (default warning)
 """
 
 from __future__ import annotations
@@ -37,11 +40,14 @@ from dataclasses import dataclass, field
 from ..distributed.cluster import RUNTIME_BACKENDS, Cluster, default_workers
 from ..engines.base import EngineOptions
 from ..errors import ConfigError
+from ..obs.log import LOG_ENV_VAR, resolve_level
+from ..obs.tracing import TRACE_ENV_VAR
 from ..runtime.executor import PIPELINE_ENV_VAR, default_pipeline
 
 __all__ = ["RunConfig", "EngineOptions", "default_backend",
-           "default_hosts", "default_pipeline", "default_samples",
-           "default_seed", "PIPELINE_ENV_VAR"]
+           "default_hosts", "default_log_level", "default_pipeline",
+           "default_samples", "default_seed", "default_trace_path",
+           "LOG_ENV_VAR", "PIPELINE_ENV_VAR", "TRACE_ENV_VAR"]
 
 
 HOSTS_ENV_VAR = "REPRO_HOSTS"
@@ -98,6 +104,18 @@ def default_backend() -> str:
     return raw
 
 
+def default_trace_path() -> str | None:
+    """Chrome-trace output path from REPRO_TRACE (None when unset)."""
+    raw = os.environ.get(TRACE_ENV_VAR)
+    return raw.strip() or None if raw is not None else None
+
+
+def default_log_level() -> str | None:
+    """Log level from REPRO_LOG (None defers to configure_logging)."""
+    raw = os.environ.get(LOG_ENV_VAR)
+    return raw.strip() or None if raw is not None else None
+
+
 def default_samples() -> int:
     return _env_int(SAMPLES_ENV_VAR, _DEFAULT_SAMPLES, minimum=1)
 
@@ -144,10 +162,22 @@ class RunConfig:
     #: restores the strict route -> publish -> execute barriers
     #: (the A/B baseline; results are count-identical either way).
     pipeline: bool = field(default_factory=default_pipeline)
+    #: Where to write the Chrome-trace JSON timeline of every run in
+    #: the session; None disables tracing entirely — the hot paths see
+    #: only the zero-cost noop tracer (REPRO_TRACE, docs/observability.md).
+    trace_path: str | None = field(default_factory=default_trace_path)
+    #: Level for the ``repro.*`` structured loggers; None keeps the
+    #: REPRO_LOG / ``warning`` default inside configure_logging.
+    log_level: str | None = field(default_factory=default_log_level)
 
     def __post_init__(self):
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.log_level is not None:
+            try:
+                resolve_level(self.log_level)
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
         if self.backend not in RUNTIME_BACKENDS:
             raise ConfigError(
                 f"unknown backend {self.backend!r}; "

@@ -20,6 +20,7 @@ from ..engines.base import Engine, EngineOptions, EngineResult, \
     run_engine_safely
 from ..errors import ConfigError
 from ..ghd.decomposition import Hypertree, optimal_hypertree
+from ..obs.tracing import chrome_trace_events, use_tracer
 from ..query.query import JoinQuery
 
 __all__ = ["QueryJob", "ExplainReport", "ComparisonReport"]
@@ -190,9 +191,29 @@ class QueryJob:
         executor stays owned and is torn down by ``session.close()``.
         """
         obj = self._resolve(engine, options, **overrides)
-        return run_engine_safely(obj, self.query, self.db,
-                                 self.session.cluster,
-                                 executor=self.session.executor())
+        executor = self.session.executor()
+        tracer = self.session.tracer()
+        if not tracer.enabled:
+            return run_engine_safely(obj, self.query, self.db,
+                                     self.session.cluster,
+                                     executor=executor)
+        # Install the session tracer for the run (thread-local wins in
+        # worker threads; the module-global makes routing/publish
+        # threads on this process visible too) and hand the run's own
+        # slice of the timeline back on the result.
+        mark = tracer.mark()
+        with use_tracer(tracer):
+            with tracer.span("engine_run", cat="engine",
+                             engine=getattr(obj, "name", str(engine)),
+                             query=self.query.name or "?"):
+                result = run_engine_safely(obj, self.query, self.db,
+                                           self.session.cluster,
+                                           executor=executor)
+        result.extra["trace"] = {
+            "traceEvents": chrome_trace_events(tracer.spans[mark:]),
+            "displayTimeUnit": "ms",
+        }
+        return result
 
     def compare(self, engines=None, options: EngineOptions | None = None,
                 **overrides) -> ComparisonReport:

@@ -29,6 +29,9 @@ from ..data.database import Database
 from ..distributed.cluster import Cluster
 from ..engines import registry
 from ..errors import ConfigError
+from ..obs.log import configure_logging, get_logger, kv
+from ..obs.metrics import METRICS
+from ..obs.tracing import NOOP_TRACER, Tracer, write_chrome_trace
 from ..query.parser import parse_query
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor, executor_for
@@ -36,6 +39,8 @@ from ..runtime.transport import default_transport_name
 from ..workloads.generators import make_testcase
 from .config import RunConfig
 from .job import QueryJob
+
+log = get_logger("repro.api.session")
 
 __all__ = ["JoinSession"]
 
@@ -53,6 +58,8 @@ class JoinSession:
                  work_budget: int | None = None,
                  memory_tuples: float | None = None,
                  pipeline: bool | None = None,
+                 trace_path: str | None = None,
+                 log_level: str | None = None,
                  config: RunConfig | None = None,
                  cluster: Cluster | None = None):
         """Keyword arguments override ``config`` (itself env-defaulted).
@@ -76,13 +83,17 @@ class JoinSession:
             workers=workers, backend=backend, transport=transport,
             hosts=hosts, samples=samples, seed=seed, scale=scale,
             work_budget=work_budget, memory_tuples=memory_tuples,
-            pipeline=pipeline)
+            pipeline=pipeline, trace_path=trace_path,
+            log_level=log_level)
         if cluster is not None:
             self.config = self.config.replace(
                 workers=cluster.num_workers, backend=cluster.runtime)
         self._cluster = cluster or self.config.make_cluster()
         self._executor: Executor | None = None
+        self._tracer: Tracer | None = None
         self._closed = False
+        if self.config.log_level is not None:
+            configure_logging(self.config.log_level)
 
     # -- resources -----------------------------------------------------------
 
@@ -128,6 +139,45 @@ class JoinSession:
         if self._closed:
             raise ConfigError("this JoinSession is closed")
 
+    # -- observability -------------------------------------------------------
+
+    def tracer(self):
+        """The session's span tracer.
+
+        A real :class:`~repro.obs.tracing.Tracer` when the config sets a
+        ``trace_path`` (created on first call, shared by every run so
+        the trace file holds the whole session's timeline); the noop
+        singleton otherwise — hot paths pay nothing when tracing is off.
+        """
+        if self.config.trace_path is None:
+            return NOOP_TRACER
+        if self._tracer is None:
+            self._tracer = Tracer()
+        return self._tracer
+
+    def metrics(self) -> dict:
+        """Snapshot of the process-wide metrics registry.
+
+        Counters are cumulative across runs and sessions (they live on
+        :data:`repro.obs.metrics.METRICS`); diff two snapshots for
+        per-run numbers.  ``transport.*`` totals agree with the summed
+        :attr:`EngineResult.data_plane` stats of the runs that fed them.
+        """
+        return METRICS.snapshot()
+
+    def write_trace(self, path: str | None = None) -> int:
+        """Write the session's Chrome-trace JSON; returns the span count.
+
+        ``close()`` calls this automatically with the configured
+        ``trace_path``; call it explicitly to snapshot mid-session.
+        """
+        path = path or self.config.trace_path
+        if path is None or self._tracer is None:
+            return 0
+        count = write_chrome_trace(path, self._tracer.spans)
+        log.info("trace written %s", kv(path=path, spans=count))
+        return count
+
     # -- queries -------------------------------------------------------------
 
     def query(self, dataset: str, query_name: str,
@@ -155,13 +205,19 @@ class JoinSession:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor and its transport (idempotent)."""
-        self._closed = True
+        """Release the executor and its transport (idempotent).
+
+        Also flushes the session trace to ``config.trace_path`` when
+        tracing was on and any spans were recorded.
+        """
+        already_closed, self._closed = self._closed, True
         if self._executor is not None:
             try:
                 self._executor.close()
             finally:
                 self._executor = None
+        if not already_closed:
+            self.write_trace()
 
     def __enter__(self) -> "JoinSession":
         self._check_open()

@@ -64,7 +64,9 @@ def _session_for(args) -> JoinSession:
         transport=args.transport, hosts=getattr(args, "hosts", None),
         samples=args.samples, scale=_resolve_scale(args.scale),
         pipeline=(None if pipeline_flag is None
-                  else pipeline_flag == "on"))
+                  else pipeline_flag == "on"),
+        trace_path=getattr(args, "trace", None),
+        log_level=getattr(args, "log_level", None))
     return JoinSession(config=config)
 
 
@@ -131,6 +133,10 @@ def _cmd_run(args) -> int:
         report = job.compare(engines=engines)
         for result in report.results:
             _print_result_row(result)
+        trace_path = session.config.trace_path
+    # Leaving the `with` closed the session, which wrote the trace.
+    if trace_path:
+        print(f"trace written to {trace_path}")
     if not report.agreed:
         print(f"ERROR: engines disagree: {report.counts}",
               file=sys.stderr)
@@ -141,7 +147,9 @@ def _cmd_run(args) -> int:
 def _cmd_serve(args) -> int:
     """Stand up a worker agent and serve until interrupted."""
     from .net import WorkerAgent
+    from .obs.log import configure_logging
 
+    configure_logging(args.log_level)
     agent = WorkerAgent(host=args.host, port=args.port, slots=args.slots,
                         mode="inline" if args.inline else "processes")
     try:
@@ -237,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--samples", type=int, default=None,
                        help="optimizer samples (default: $REPRO_SAMPLES "
                             "or 100)")
+        p.add_argument("--log-level", default=None, dest="log_level",
+                       choices=["debug", "info", "warning", "error"],
+                       help="level for the repro.* structured loggers "
+                            "(default: $REPRO_LOG or warning)")
         p.set_defaults(backend=None, transport=None)
 
     run_p = sub.add_parser("run", help="run engines on a test-case")
@@ -267,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "with task execution ('off' restores the "
                             "strict barriers for A/B; default: "
                             "$REPRO_PIPELINE or on)")
+    run_p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON timeline of "
+                            "the run (route, publish, every worker task "
+                            "— load in Perfetto / chrome://tracing; "
+                            "default: $REPRO_TRACE)")
 
     serve_p = sub.add_parser(
         "serve", help="stand up a worker agent for remote coordinators")
@@ -287,6 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run tasks on the connection thread "
                               "instead of the process pool (debugging; "
                               "GIL-bound)")
+    serve_p.add_argument("--log-level", default=None, dest="log_level",
+                         choices=["debug", "info", "warning", "error"],
+                         help="level for the repro.* structured loggers "
+                              "(default: $REPRO_LOG or warning)")
 
     plan_p = sub.add_parser("plan", help="show the ADJ plan for a "
                                          "test-case")

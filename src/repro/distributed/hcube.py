@@ -32,6 +32,7 @@ import numpy as np
 from ..data.database import Database
 from ..data.relation import Relation
 from ..errors import OutOfMemory, PlanError
+from ..obs.tracing import current_tracer
 from ..query.query import Atom, JoinQuery
 from .metrics import ShuffleStats
 from .partitioner import Shares
@@ -243,7 +244,21 @@ def _route_atom(grid: HypercubeGrid, atom: Atom, data: np.ndarray,
 
     Returns ``(rows_per_cube, tuple_copies, blocks_fetched, bytes_copied,
     worker_load_delta)``.
+
+    Opens a ``route_atom`` span per call; when atoms fan out over the
+    routing pool the spans land on distinct thread ids, so the trace
+    shows the routing overlap directly.
     """
+    with current_tracer().span("route_atom", cat="route",
+                               atom=atom.relation,
+                               tuples=int(data.shape[0])):
+        return _route_atom_body(grid, atom, data, impl, coords)
+
+
+def _route_atom_body(grid: HypercubeGrid, atom: Atom, data: np.ndarray,
+                     impl: str, coords: Sequence[tuple[int, ...]]
+                     ) -> tuple[list[np.ndarray], int, int, int,
+                                dict[int, int]]:
     block_ids = grid.tuple_block_ids(atom, data)
     order = np.argsort(block_ids, kind="stable")
     sorted_ids = block_ids[order]
@@ -316,20 +331,23 @@ def hcube_route(query: JoinQuery, db: Database, grid: HypercubeGrid,
         atom_data.append(rel.data)
 
     threads = int(routing_threads or 1)
-    if threads > 1 and len(query.atoms) > 1:
-        from concurrent.futures import ThreadPoolExecutor
+    with current_tracer().span("route", cat="route", impl=impl,
+                               atoms=len(query.atoms), cubes=num_cubes,
+                               threads=threads):
+        if threads > 1 and len(query.atoms) > 1:
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(
-                max_workers=min(threads, len(query.atoms)),
-                thread_name_prefix="repro-route") as pool:
-            routed = list(pool.map(
-                _route_atom,
-                (grid for _ in query.atoms), query.atoms, atom_data,
-                (impl for _ in query.atoms),
-                (coords for _ in query.atoms)))
-    else:
-        routed = [_route_atom(grid, atom, data, impl, coords)
-                  for atom, data in zip(query.atoms, atom_data)]
+            with ThreadPoolExecutor(
+                    max_workers=min(threads, len(query.atoms)),
+                    thread_name_prefix="repro-route") as pool:
+                routed = list(pool.map(
+                    _route_atom,
+                    (grid for _ in query.atoms), query.atoms, atom_data,
+                    (impl for _ in query.atoms),
+                    (coords for _ in query.atoms)))
+        else:
+            routed = [_route_atom(grid, atom, data, impl, coords)
+                      for atom, data in zip(query.atoms, atom_data)]
 
     # Merge in atom order — deterministic regardless of thread timing.
     for rows_per_cube, copies, fetched, nbytes, loads in routed:

@@ -128,6 +128,19 @@ class EngineResult:
         t = self.telemetry
         return t.total if t is not None else None
 
+    @property
+    def trace(self) -> dict | None:
+        """Chrome trace-event document for this run, when traced.
+
+        Present when the session had tracing enabled
+        (``RunConfig.trace_path`` / ``REPRO_TRACE`` / CLI ``--trace``):
+        a ``{"traceEvents": [...]}`` dict covering this run's spans —
+        route, publish, every worker task, including spans merged back
+        from remote agents.  Load it in Perfetto or
+        ``chrome://tracing``.  See docs/observability.md.
+        """
+        return self.extra.get("trace")
+
 
 class Engine(Protocol):
     """A distributed join engine (the paper's competing methods)."""

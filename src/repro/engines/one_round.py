@@ -35,6 +35,7 @@ from ..distributed.hcube import HypercubeGrid, hcube_route
 from ..distributed.metrics import CostLedger, ShuffleStats
 from ..distributed.partitioner import optimize_shares
 from ..errors import BudgetExceeded
+from ..obs.tracing import current_tracer
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor, available_parallelism
 from ..runtime.scheduler import (
@@ -148,10 +149,14 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                                      time.perf_counter() - publish_start)
                 results = run_worker_tasks(executor, tasks,
                                            telemetry=telemetry)
-            merged = merge_task_results(results, len(order),
-                                        budget=work_budget)
+            with current_tracer().span("merge", cat="schedule",
+                                       tasks=len(results)):
+                merged = merge_task_results(results, len(order),
+                                            budget=work_budget)
         finally:
-            transport.teardown()
+            with current_tracer().span("teardown", cat="transport",
+                                       transport=transport.name):
+                transport.teardown()
         # Read the epoch snapshot *after* teardown so the report includes
         # teardown-time counters (blocks freed, bytes workers fetched
         # back out of a tcp block store).

@@ -25,8 +25,10 @@ from ..distributed.cluster import Cluster
 from ..distributed.metrics import ShuffleStats
 from ..errors import BudgetExceeded, OutOfMemory, WorkerCrashed
 from ..ghd.decomposition import Hypertree, optimal_hypertree
+from ..obs.tracing import trace_context
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
+from ..runtime.scheduler import absorb_result_observability
 from ..runtime.telemetry import RuntimeTelemetry
 from ..runtime.worker import BagTask, materialize_bag_task
 from ..wcoj.yannakakis import (
@@ -68,6 +70,8 @@ class YannakakisJoin:
         """
         transport = executor.transport
 
+        ctx = trace_context()
+
         def bag_task(bag) -> BagTask:
             attrs = tuple(a for a in query.attributes
                           if a in bag.attributes)
@@ -79,7 +83,7 @@ class YannakakisJoin:
                     transport.make_ref(transport.publish(
                         f"rel:{a.relation}", db[a.relation].data))
                     for a in sub.atoms),
-                budget=self.work_budget)
+                budget=self.work_budget, trace=ctx)
 
         try:
             if getattr(executor, "pipeline", False):
@@ -104,6 +108,7 @@ class YannakakisJoin:
         # Post-teardown snapshot: includes blocks freed / bytes fetched.
         data_plane = dict(transport.last_epoch.as_dict(),
                           transport=transport.name)
+        absorb_result_observability(results)
         bags: dict[int, Relation] = {}
         for res in results:
             if res.failure == "crash":

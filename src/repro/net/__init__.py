@@ -22,7 +22,7 @@ See docs/net.md for the wire protocol, the handshake and the failure
 semantics, and README.md for a two-terminal loopback walkthrough.
 """
 
-from .agent import WorkerAgent
+from .agent import WorkerAgent, agent_stats
 from .blockstore import (
     BlockStoreClient,
     BlockStoreServer,
@@ -48,6 +48,7 @@ __all__ = [
     "fetch_block_array",
     "TcpTransport",
     "WorkerAgent",
+    "agent_stats",
     "RemoteExecutor",
     "HostSpec",
     "parse_host_specs",

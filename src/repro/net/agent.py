@@ -37,6 +37,9 @@ import threading
 from concurrent.futures.process import BrokenProcessPool
 
 from ..errors import ConfigError
+from ..obs.log import get_logger, kv
+from ..obs.metrics import METRICS
+from ..obs.tracing import current_tracer, set_thread_tracer, task_tracer
 from ..runtime.executor import available_parallelism
 from .protocol import (
     OP_BYE,
@@ -45,17 +48,32 @@ from .protocol import (
     OP_HELLO,
     OP_OK,
     OP_PING,
+    OP_STAT,
     OP_TASK,
     PROTOCOL_VERSION,
     FrameServer,
+    connect,
+    request,
     send_frame,
 )
 
-__all__ = ["WorkerAgent"]
+__all__ = ["WorkerAgent", "agent_stats"]
+
+log = get_logger("repro.net.agent")
 
 
 class WorkerAgent(FrameServer):
-    """Serves HELLO/PING/TASK/BYE; executes tasks on a process pool."""
+    """Serves HELLO/PING/STAT/TASK/BYE; runs tasks on a process pool.
+
+    Observability: a TASK frame whose meta carries a ``trace`` context
+    makes the agent record spans — its own ``agent_task`` dispatch span
+    plus whatever the task function records (inline mode) or ships back
+    in ``result.spans`` (process mode) — and return them in the reply
+    meta (``spans``) of the DATA *or* ERR frame, so crashed tasks still
+    contribute to the coordinator's merged timeline.  A STAT frame
+    answers with live counters (tasks run/failed, slots, pid) plus this
+    process's metrics snapshot; see :func:`agent_stats`.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  slots: int | None = None, mode: str = "processes"):
@@ -99,12 +117,77 @@ class WorkerAgent(FrameServer):
                     self._pool = None
             raise
 
+    def start(self) -> "WorkerAgent":
+        super().start()
+        log.info("agent listening %s",
+                 kv(host=self.host, port=self.port, slots=self.slots,
+                    mode=self.mode, pid=os.getpid()))
+        return self
+
     def stop(self) -> None:
+        was_running = self.running
         super().stop()
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        if was_running:
+            log.info("agent stopped %s",
+                     kv(port=self.port, tasks_run=self.tasks_run,
+                        tasks_failed=self.tasks_failed))
+
+    def _stat_meta(self) -> dict:
+        with self._counter_lock:
+            tasks_run, tasks_failed = self.tasks_run, self.tasks_failed
+        return {"service": "worker-agent", "pid": os.getpid(),
+                "slots": self.slots, "mode": self.mode,
+                "tasks_run": tasks_run, "tasks_failed": tasks_failed,
+                "metrics": METRICS.snapshot()}
+
+    def _handle_task(self, sock: socket.socket, meta: dict,
+                     payload: bytes) -> None:
+        ctx = meta.get("trace")
+        tracer = task_tracer(ctx)
+        # When a same-process tracer is already current (an in-process
+        # agent under test), task_tracer returns NOOP so worker spans
+        # record directly — the dispatch span should follow them there
+        # instead of vanishing.
+        recorder = tracer if tracer.enabled else (
+            current_tracer() if ctx else tracer)
+        previous = set_thread_tracer(tracer) if tracer.enabled else None
+        try:
+            try:
+                with recorder.span("agent_task", cat="agent",
+                                   slot=meta.get("slot", -1),
+                                   mode=self.mode):
+                    fn, task = pickle.loads(payload)
+                    result = self._run_task(fn, task)
+                    reply = pickle.dumps(result,
+                                         protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                with self._counter_lock:
+                    self.tasks_failed += 1
+                log.warning("task failed %s",
+                            kv(slot=meta.get("slot", -1),
+                               error=type(exc).__name__, message=exc))
+                err_meta = {"error": type(exc).__name__,
+                            "message": str(exc)}
+                if tracer.enabled:
+                    err_meta["spans"] = tracer.export_payload()
+                send_frame(sock, OP_ERR, err_meta)
+            else:
+                with self._counter_lock:
+                    self.tasks_run += 1
+                log.debug("task done %s",
+                          kv(slot=meta.get("slot", -1),
+                             reply_bytes=len(reply)))
+                ok_meta = {}
+                if tracer.enabled:
+                    ok_meta["spans"] = tracer.export_payload()
+                send_frame(sock, OP_DATA, ok_meta, reply)
+        finally:
+            if tracer.enabled:
+                set_thread_tracer(previous)
 
     def handle(self, sock: socket.socket, op: int, meta: dict,
                payload: bytes) -> bool:
@@ -115,21 +198,10 @@ class WorkerAgent(FrameServer):
                                      "pid": os.getpid()})
         elif op == OP_PING:
             send_frame(sock, OP_OK, {"pid": os.getpid()})
+        elif op == OP_STAT:
+            send_frame(sock, OP_OK, self._stat_meta())
         elif op == OP_TASK:
-            try:
-                fn, task = pickle.loads(payload)
-                result = self._run_task(fn, task)
-                reply = pickle.dumps(result,
-                                     protocol=pickle.HIGHEST_PROTOCOL)
-            except Exception as exc:
-                with self._counter_lock:
-                    self.tasks_failed += 1
-                send_frame(sock, OP_ERR, {"error": type(exc).__name__,
-                                          "message": str(exc)})
-            else:
-                with self._counter_lock:
-                    self.tasks_run += 1
-                send_frame(sock, OP_DATA, {}, reply)
+            self._handle_task(sock, meta, payload)
         elif op == OP_BYE:
             send_frame(sock, OP_OK, {})
             return False
@@ -139,3 +211,20 @@ class WorkerAgent(FrameServer):
                         "message": f"opcode {op} is not a worker-agent "
                                    f"op"})
         return True
+
+
+def agent_stats(host: str, port: int, timeout: float | None = 10.0
+                ) -> dict:
+    """Live STAT snapshot of a running ``repro serve`` agent.
+
+    One short-lived connection: STAT, BYE, close.  The reply meta holds
+    task counters (``tasks_run``/``tasks_failed``), ``slots``, ``pid``,
+    ``mode`` and the agent process's ``metrics`` snapshot.
+    """
+    sock = connect(host, port, timeout=timeout)
+    try:
+        _op, meta, _payload = request(sock, OP_STAT, {})
+        send_frame(sock, OP_BYE, {})
+        return meta
+    finally:
+        sock.close()

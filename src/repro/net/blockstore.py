@@ -34,6 +34,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import NetError
+from ..obs.log import get_logger, kv
+from ..obs.metrics import METRICS
+from ..obs.tracing import current_tracer
 from .protocol import (
     OP_BYE,
     OP_DATA,
@@ -55,6 +58,8 @@ from .protocol import (
 
 __all__ = ["BlockStoreStats", "BlockStoreServer", "BlockStoreClient",
            "fetch_block_array", "clear_fetch_cache"]
+
+log = get_logger("repro.net.blockstore")
 
 
 @dataclass
@@ -86,6 +91,13 @@ class BlockStoreServer(FrameServer):
     def blocks(self) -> tuple[str, ...]:
         with self._store_lock:
             return tuple(self._blocks)
+
+    def stop(self) -> None:
+        was_running = self.running
+        super().stop()
+        if was_running:
+            log.info("block store stopped %s",
+                     kv(port=self.port, **self.stats.as_dict()))
 
     def handle(self, sock: socket.socket, op: int, meta: dict,
                payload: bytes) -> bool:
@@ -248,9 +260,15 @@ def fetch_block_array(host: str, port: int, block: str, *,
     key = (host, port, block)
     with _fetch_lock:
         cached = _fetch_cache.get(key)
+    if cached is not None:
+        METRICS.counter("net.fetch_cache_hits").inc()
     if cached is None:
-        with BlockStoreClient(host, port) as client:
-            cached = client.get(block)
+        with current_tracer().span("fetch_block", cat="net",
+                                   block=block, store=f"{host}:{port}"):
+            with BlockStoreClient(host, port) as client:
+                cached = client.get(block)
+        METRICS.counter("net.fetched_blocks").inc()
+        METRICS.counter("net.fetched_bytes").inc(cached.nbytes)
         if cached.nbytes <= _FETCH_CACHE_MAX_BYTES:
             with _fetch_lock:
                 if key not in _fetch_cache:

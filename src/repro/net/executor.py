@@ -33,10 +33,14 @@ import os
 import pickle
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from functools import partial
 
 from ..errors import ConfigError, NetError, WorkerCrashed
+from ..obs.log import get_logger, kv
+from ..obs.metrics import METRICS
+from ..obs.tracing import current_tracer, trace_context
 from ..runtime.executor import _PoolExecutor
 from ..runtime.transport import TRANSPORT_ENV_VAR, Transport
 from .protocol import (
@@ -52,6 +56,8 @@ from .protocol import (
 
 __all__ = ["RemoteExecutor", "HostSpec", "parse_host_specs",
            "HOSTS_ENV_VAR", "default_hosts"]
+
+log = get_logger("repro.net.executor")
 
 #: Environment variable naming the cluster, e.g.
 #: ``REPRO_HOSTS=127.0.0.1:7070,127.0.0.1:7071,local:2``.
@@ -172,12 +178,18 @@ class _AgentConnection:
     def ping(self) -> None:
         request(self._live_sock(), OP_PING)
 
-    def run_task(self, fn, task):
+    def run_task(self, fn, task, meta: dict | None = None):
+        """Ship one task; returns ``(result, reply_meta)``.
+
+        ``meta`` rides in the TASK frame (trace context, slot index);
+        the reply meta may carry agent-recorded ``spans``.
+        """
         sock = self._live_sock()
         payload = pickle.dumps((fn, task),
                                protocol=pickle.HIGHEST_PROTOCOL)
-        _op, _meta, reply = request(sock, OP_TASK, payload=payload)
-        return pickle.loads(reply)
+        _op, reply_meta, reply = request(sock, OP_TASK, meta=meta,
+                                         payload=payload)
+        return pickle.loads(reply), reply_meta
 
     def close(self) -> None:
         sock, self._sock = self._sock, None
@@ -262,6 +274,11 @@ class RemoteExecutor(_PoolExecutor):
                 slots = max(1, int(meta.get("slots", 1)))
                 conns = [_AgentConnection(spec, self.connect_timeout)
                          for _ in range(slots)]
+                for slot, conn in enumerate(conns):
+                    conn.slot = slot
+                log.info("host connected %s",
+                         kv(host=spec.label, slots=slots,
+                            agent_pid=meta.get("pid")))
             except ConfigError:
                 self.close()
                 raise
@@ -300,7 +317,14 @@ class RemoteExecutor(_PoolExecutor):
                     if spec in self._dead:
                         continue
                 try:
+                    start = time.perf_counter()
                     control.ping()
+                    # Each host's latest heartbeat round-trip becomes a
+                    # live gauge — the cluster-latency signal the trace
+                    # timeline can't show between epochs.
+                    METRICS.gauge(
+                        f"net.heartbeat_rtt_seconds.{spec.label}").set(
+                        time.perf_counter() - start)
                 except Exception:   # includes a socket close() raced away
                     self._mark_dead(spec)
 
@@ -309,6 +333,7 @@ class RemoteExecutor(_PoolExecutor):
             if spec in self._dead:
                 return
             self._dead.add(spec)
+        log.warning("host marked dead %s", kv(host=spec.label))
         # Abort the host's task sockets: a silently-lost host (power
         # cut, partition) sends no FIN, so a task blocked in recv with
         # no timeout would hang forever; shutdown() wakes it into an
@@ -343,11 +368,21 @@ class RemoteExecutor(_PoolExecutor):
                 return fn(task)
             finally:
                 self._slots.put((kind, conn))
+        ctx = trace_context()
+        task_meta = None
+        if ctx is not None:
+            task_meta = {"trace": ctx,
+                         "slot": getattr(conn, "slot", -1)}
         try:
-            result = conn.run_task(fn, task)
+            result, reply_meta = conn.run_task(fn, task, meta=task_meta)
         except NetError as exc:
             # The agent answered with an ERR frame: the task raised
             # remotely, but the connection itself is still healthy.
+            # The ERR meta still delivers the agent's spans, so even a
+            # crashed remote task lands on the merged timeline.
+            current_tracer().merge_payload(
+                (getattr(exc, "meta", None) or {}).get("spans"),
+                host=conn.spec.label)
             self._slots.put((kind, conn))
             raise WorkerCrashed(conn.spec.port,
                                 f"remote task on {conn.spec.label} "
@@ -359,6 +394,8 @@ class RemoteExecutor(_PoolExecutor):
             raise WorkerCrashed(conn.spec.port,
                                 f"worker agent {conn.spec.label} died: "
                                 f"{type(exc).__name__}: {exc}") from exc
+        current_tracer().merge_payload(reply_meta.get("spans"),
+                                       host=conn.spec.label)
         self._slots.put((kind, conn))
         return result
 

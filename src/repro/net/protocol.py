@@ -122,7 +122,10 @@ def request(sock: socket.socket, op: int, meta: dict | None = None,
     """One request/response round-trip; ERR replies raise.
 
     ``error == "not-found"`` maps to :class:`BlockNotFound`; every other
-    ERR becomes a :class:`NetError` carrying the peer's message.
+    ERR becomes a :class:`NetError` carrying the peer's message.  The
+    raised exception carries the full reply meta as ``exc.meta`` so
+    callers can recover side-channel fields an ERR frame still delivers
+    (a failing agent ships its recorded trace spans this way).
     """
     send_frame(sock, op, meta, payload)
     reply_op, reply_meta, reply_payload = recv_frame(sock)
@@ -130,8 +133,12 @@ def request(sock: socket.socket, op: int, meta: dict | None = None,
         error = reply_meta.get("error", "error")
         message = reply_meta.get("message", "")
         if error == "not-found":
-            raise BlockNotFound(reply_meta.get("block", "?"), message)
-        raise NetError(f"{error}: {message}")
+            exc: NetError = BlockNotFound(reply_meta.get("block", "?"),
+                                          message)
+        else:
+            exc = NetError(f"{error}: {message}")
+        exc.meta = reply_meta
+        raise exc
     return reply_op, reply_meta, reply_payload
 
 

@@ -36,8 +36,12 @@ import uuid
 import numpy as np
 
 from ..errors import BlockNotFound, NetError
+from ..obs.log import get_logger, kv
+from ..obs.tracing import current_tracer
 from ..runtime.transport import ArrayRef, Transport
 from .blockstore import BlockStoreClient, BlockStoreServer
+
+log = get_logger("repro.net.transport")
 
 __all__ = ["TcpTransport", "BIND_HOST_ENV_VAR", "ADVERTISE_HOST_ENV_VAR"]
 
@@ -129,7 +133,12 @@ class TcpTransport(Transport):
                 self._meta[key] = (None, tuple(arr.shape), str(arr.dtype))
                 return key
             block = f"{key}@{uuid.uuid4().hex[:12]}"
-            client.put(block, arr)
+            with current_tracer().span("publish", cat="transport",
+                                       transport=self.name, key=key,
+                                       bytes=int(arr.nbytes)):
+                client.put(block, arr)
+            log.debug("block published %s",
+                      kv(block=block, bytes=int(arr.nbytes)))
             self._meta[key] = (block, tuple(arr.shape), str(arr.dtype))
             self.stats.published_blocks += 1
             self.stats.published_bytes += int(arr.nbytes)

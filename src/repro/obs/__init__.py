@@ -1,0 +1,36 @@
+"""repro.obs — tracing, metrics, and structured logging.
+
+Three independent pieces with one job: make the distributed runtime's
+behaviour *visible* without changing it.
+
+- :mod:`repro.obs.tracing` — nestable spans with host/pid/tid tags,
+  remote propagation through task payloads and agent frames, Chrome
+  trace-event export (Perfetto / ``chrome://tracing``).
+- :mod:`repro.obs.metrics` — process-wide named counters / gauges /
+  histograms behind ``session.metrics()`` and the agent STAT opcode.
+- :mod:`repro.obs.log` — the ``repro.*`` logger hierarchy with a
+  key=value formatter, configured via ``--log-level`` / ``REPRO_LOG``.
+
+See docs/observability.md for the span model, metric names, and usage.
+"""
+
+from .log import (LOG_ENV_VAR, KeyValueFormatter, configure_logging,
+                  get_logger, kv)
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import (NOOP_TRACER, TRACE_ENV_VAR, NoopTracer, Span,
+                      Tracer, chrome_trace_events, current_tracer,
+                      set_thread_tracer, set_tracer, task_tracer,
+                      trace_context, use_tracer, write_chrome_trace)
+
+__all__ = [
+    # tracing
+    "TRACE_ENV_VAR", "Span", "Tracer", "NoopTracer", "NOOP_TRACER",
+    "current_tracer", "set_tracer", "set_thread_tracer", "use_tracer",
+    "trace_context", "task_tracer", "chrome_trace_events",
+    "write_chrome_trace",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS",
+    # logging
+    "LOG_ENV_VAR", "get_logger", "kv", "configure_logging",
+    "KeyValueFormatter",
+]

@@ -1,0 +1,200 @@
+"""Process-wide named metrics: counters, gauges, histograms.
+
+One flat registry (:data:`METRICS`) unifies the numbers the runtime
+already measures but keeps in per-object silos — ``TransportStats``
+epoch counters, ``EngineResult.data_plane``, per-task durations, budget
+consumption, heartbeat RTTs — behind get-or-create named instruments:
+
+- :class:`Counter` — monotonically increasing totals
+  (``transport.published_bytes``, ``runtime.tasks_completed``).
+- :class:`Gauge` — last-written values (``net.heartbeat_rtt_seconds.*``).
+- :class:`Histogram` — count/sum/min/max summaries
+  (``runtime.task_seconds``).
+
+``JoinSession.metrics()`` surfaces :meth:`MetricsRegistry.snapshot`;
+the agent protocol's STAT opcode serves a remote host's snapshot (see
+``repro.net.agent``).  Metrics are cumulative across epochs and
+sessions in one process — callers comparing against per-run numbers
+(e.g. ``data_plane``) should :meth:`~MetricsRegistry.reset` or delta
+two snapshots.  Names are dotted lowercase, documented in
+docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        value = self.value
+        return int(value) if value == int(value) else value
+
+
+class Gauge:
+    """A last-written value (set wins; inc/dec for running levels)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A count/sum/min/max summary of observed samples.
+
+    Keeps no per-sample storage — O(1) memory regardless of task count,
+    which is the property that lets the scheduler observe every task
+    duration of a million-task run.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0, "min": 0.0,
+                        "max": 0.0, "mean": 0.0}
+            return {"count": self._count, "sum": self._sum,
+                    "min": self._min, "max": self._max,
+                    "mean": self._sum / self._count}
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name; one flat namespace.
+
+    Re-requesting a name returns the same instrument; requesting it as a
+    different kind raises — names are a contract, not a suggestion.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = kind(name)
+                self._instruments[name] = inst
+            elif type(inst) is not kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, requested {kind.__name__}")
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """A plain ``{name: value-or-summary-dict}`` mapping (sorted)."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in instruments}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and per-run comparisons)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def merge_snapshot(self, snapshot: dict, prefix: str = "") -> None:
+        """Fold a remote host's snapshot in under ``prefix``.
+
+        Counter-like numbers accumulate; histogram summaries merge
+        count/sum/min/max.  Used when polling ``repro serve`` hosts.
+        """
+        for name, value in (snapshot or {}).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, dict):
+                hist = self.histogram(full)
+                with hist._lock:
+                    count = int(value.get("count", 0))
+                    if count:
+                        hist._count += count
+                        hist._sum += float(value.get("sum", 0.0))
+                        hist._min = min(hist._min, float(value["min"]))
+                        hist._max = max(hist._max, float(value["max"]))
+            else:
+                self.counter(full).inc(float(value))
+
+
+#: The process-wide registry every subsystem records into.
+METRICS = MetricsRegistry()

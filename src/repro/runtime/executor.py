@@ -59,6 +59,7 @@ from concurrent.futures import (
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..errors import ConfigError, ReproError, WorkerCrashed
+from ..obs.tracing import current_tracer
 from .transport import Transport, create_transport
 
 __all__ = [
@@ -169,14 +170,16 @@ class Executor(ABC):
         :class:`WorkerCrashed`, and neither outcome tears down the
         transport — the caller owns the epoch.
         """
-        for i, task in enumerate(tasks):
-            try:
-                yield fn(task)
-            except ReproError:
-                raise
-            except Exception as exc:
-                raise WorkerCrashed(i, f"{type(exc).__name__}: {exc}") \
-                    from exc
+        with current_tracer().span("submit_tasks", cat="executor",
+                                   backend=self.name):
+            for i, task in enumerate(tasks):
+                try:
+                    yield fn(task)
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise WorkerCrashed(
+                        i, f"{type(exc).__name__}: {exc}") from exc
 
     def setup(self) -> None:
         """Acquire backend + transport resources ahead of time (idempotent)."""
@@ -212,14 +215,16 @@ class SerialExecutor(Executor):
     def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
                   ) -> list[R]:
         out: list[R] = []
-        for i, task in enumerate(tasks):
-            try:
-                out.append(fn(task))
-            except ReproError:
-                raise
-            except Exception as exc:
-                raise WorkerCrashed(i, f"{type(exc).__name__}: {exc}") \
-                    from exc
+        with current_tracer().span("map_tasks", cat="executor",
+                                   backend=self.name, tasks=len(tasks)):
+            for i, task in enumerate(tasks):
+                try:
+                    out.append(fn(task))
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise WorkerCrashed(
+                        i, f"{type(exc).__name__}: {exc}") from exc
         return out
 
 
@@ -277,28 +282,32 @@ class _PoolExecutor(Executor):
         if not tasks:
             return []
         pool = self._ensure_pool()
-        try:
-            futures = [pool.submit(fn, t) for t in tasks]
-        except Exception as exc:
-            if isinstance(exc, BrokenExecutor):
-                self._shutdown_pool()
-            raise WorkerCrashed(-1, f"task submission failed: "
-                                    f"{type(exc).__name__}: {exc}") from exc
-        # Block until everything finished or something failed — healthy
-        # long runs never time out.  On failure, report the future that
-        # actually holds the exception (not whichever healthy task is
-        # still running) and cancel the rest.
-        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-        failed = next(
-            (f for f in done if not f.cancelled()
-             and f.exception() is not None), None)
-        if failed is not None:
-            for f in pending:
-                f.cancel()
-            self._raise_failure(futures, failed)
-        # No exception => FIRST_EXCEPTION degenerated to ALL_COMPLETED,
-        # so every result is ready and result() cannot block.
-        return [future.result() for future in futures]
+        with current_tracer().span("map_tasks", cat="executor",
+                                   backend=self.name, tasks=len(tasks)):
+            try:
+                futures = [pool.submit(fn, t) for t in tasks]
+            except Exception as exc:
+                if isinstance(exc, BrokenExecutor):
+                    self._shutdown_pool()
+                raise WorkerCrashed(
+                    -1, f"task submission failed: "
+                        f"{type(exc).__name__}: {exc}") from exc
+            # Block until everything finished or something failed —
+            # healthy long runs never time out.  On failure, report the
+            # future that actually holds the exception (not whichever
+            # healthy task is still running) and cancel the rest.
+            done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next(
+                (f for f in done if not f.cancelled()
+                 and f.exception() is not None), None)
+            if failed is not None:
+                for f in pending:
+                    f.cancel()
+                self._raise_failure(futures, failed)
+            # No exception => FIRST_EXCEPTION degenerated to
+            # ALL_COMPLETED, so every result is ready and result()
+            # cannot block.
+            return [future.result() for future in futures]
 
     def submit_tasks(self, fn: Callable[[T], R], tasks: Iterable[T]
                      ) -> Iterator[R]:
@@ -319,30 +328,32 @@ class _PoolExecutor(Executor):
             if not future.cancelled() and future.exception() is not None:
                 abort.set()
 
-        try:
-            for task in tasks:
-                if abort.is_set():
-                    break
-                future = pool.submit(fn, task)
-                future.add_done_callback(_watch)
-                futures.append(future)
-        except Exception:
-            # The task *source* failed (publish error, routing bug):
-            # don't leave orphan tasks running against an epoch the
-            # caller is about to tear down.
-            for f in futures:
-                f.cancel()
-            raise
-        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-        failed = next(
-            (f for f in done if not f.cancelled()
-             and f.exception() is not None), None)
-        if failed is not None:
-            for f in pending:
-                f.cancel()
-            self._raise_failure(futures, failed)
-        for future in futures:
-            yield future.result()
+        with current_tracer().span("submit_tasks", cat="executor",
+                                   backend=self.name):
+            try:
+                for task in tasks:
+                    if abort.is_set():
+                        break
+                    future = pool.submit(fn, task)
+                    future.add_done_callback(_watch)
+                    futures.append(future)
+            except Exception:
+                # The task *source* failed (publish error, routing bug):
+                # don't leave orphan tasks running against an epoch the
+                # caller is about to tear down.
+                for f in futures:
+                    f.cancel()
+                raise
+            done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next(
+                (f for f in done if not f.cancelled()
+                 and f.exception() is not None), None)
+            if failed is not None:
+                for f in pending:
+                    f.cancel()
+                self._raise_failure(futures, failed)
+            for future in futures:
+                yield future.result()
 
     def close(self) -> None:
         self._shutdown_pool()

@@ -19,12 +19,15 @@ from typing import Callable, Iterable, Iterator, Sequence
 from ..data.database import Database
 from ..distributed.hcube import HCubeRouting, HCubeShuffleResult
 from ..errors import BudgetExceeded, WorkerCrashed
+from ..obs.metrics import METRICS
+from ..obs.tracing import current_tracer, trace_context
 from .executor import Executor
 from .telemetry import RuntimeTelemetry
 from .transport import PickleTransport, Transport
 from .worker import WorkerTask, WorkerTaskResult, execute_worker_task
 
-__all__ = ["MergedOutcome", "build_worker_tasks", "build_routed_tasks",
+__all__ = ["MergedOutcome", "absorb_result_observability",
+           "build_worker_tasks", "build_routed_tasks",
            "iter_routed_tasks", "merge_task_results", "run_worker_tasks",
            "run_streamed", "run_streamed_tasks"]
 
@@ -111,6 +114,7 @@ def iter_routed_tasks(routing: HCubeRouting, db: Database,
     for cube in range(grid.num_cubes):
         cubes_by_worker.setdefault(grid.worker_of_cube(cube),
                                    []).append(cube)
+    ctx = trace_context()
     for worker in sorted(cubes_by_worker):
         capacity = None
         if cache_capacity is not None:
@@ -118,7 +122,7 @@ def iter_routed_tasks(routing: HCubeRouting, db: Database,
                 routing.worker_loads.get(worker, 0)))
         task = WorkerTask(worker=worker, query=local_query,
                           order=order, budget=budget,
-                          cache_capacity=capacity)
+                          cache_capacity=capacity, trace=ctx)
         for cube in cubes_by_worker[worker]:
             task.cubes.append(tuple(
                 transport.make_ref(key_for(ai),
@@ -146,6 +150,31 @@ def build_routed_tasks(routing: HCubeRouting, db: Database,
                                   cache_capacity=cache_capacity))
 
 
+def absorb_result_observability(results: Sequence) -> None:
+    """Fold task results into the tracer and the metrics registry.
+
+    Called on the coordinator as soon as results exist — before
+    :func:`merge_task_results` gets a chance to raise — so spans shipped
+    by a *crashed* remote task still land in the merged timeline, and
+    ``runtime.*`` metrics count failed work too.
+    """
+    tracer = current_tracer()
+    durations = METRICS.histogram("runtime.task_seconds")
+    for res in results:
+        tracer.merge_payload(getattr(res, "spans", None))
+        total = getattr(res, "total_seconds", None)
+        if total is not None:
+            durations.observe(total)
+        work = getattr(res, "intersection_work", None) or \
+            getattr(res, "work", None)
+        if work:
+            METRICS.counter("runtime.intersection_work").inc(work)
+        if getattr(res, "failure", None):
+            METRICS.counter("runtime.tasks_failed").inc()
+        else:
+            METRICS.counter("runtime.tasks_completed").inc()
+
+
 def run_worker_tasks(executor: Executor, tasks: Sequence[WorkerTask],
                      telemetry: RuntimeTelemetry | None = None
                      ) -> list[WorkerTaskResult]:
@@ -153,6 +182,7 @@ def run_worker_tasks(executor: Executor, tasks: Sequence[WorkerTask],
     start = time.perf_counter()
     results = executor.map_tasks(execute_worker_task, tasks)
     elapsed = time.perf_counter() - start
+    absorb_result_observability(results)
     if telemetry is not None:
         telemetry.record("local_join", elapsed)
         for res in results:
@@ -232,6 +262,7 @@ def run_streamed_tasks(executor: Executor,
     results = run_streamed(executor, execute_worker_task, tasks,
                            telemetry=telemetry,
                            mint_phase="publish", run_phase="local_join")
+    absorb_result_observability(results)
     if telemetry is not None:
         for res in results:
             telemetry.record_worker(res.worker, res.total_seconds)

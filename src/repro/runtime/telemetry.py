@@ -83,6 +83,7 @@ class RuntimeTelemetry:
         row = {f"measured_{k}": v for k, v in self.phase_seconds.items()}
         row["measured_total"] = self.total
         row["measured_overlap"] = self.overlap_seconds
+        row["measured_straggler"] = self.straggler_seconds
         return row
 
     def __str__(self) -> str:
@@ -98,10 +99,19 @@ def modeled_vs_measured(breakdown, telemetry: RuntimeTelemetry | None
 
     ``breakdown`` is a :class:`repro.distributed.metrics.CostBreakdown`;
     ``telemetry`` may be None (purely simulated run), in which case the
-    measured column is None.
+    measured columns are None.
+
+    ``measured_overlap`` (pipelined mint/execute overlap window) and
+    ``straggler_seconds`` (slowest worker task — the parallel makespan)
+    ride along so bench tables show pipeline wins and load imbalance
+    without digging through per-run telemetry objects.
     """
     return {
         "modeled_seconds": breakdown.total,
         "measured_seconds": telemetry.total if telemetry else None,
+        "measured_overlap": telemetry.overlap_seconds if telemetry
+        else None,
+        "straggler_seconds": telemetry.straggler_seconds if telemetry
+        else None,
         "backend": telemetry.backend if telemetry else "simulated",
     }

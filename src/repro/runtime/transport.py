@@ -49,6 +49,8 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs.metrics import METRICS
+from ..obs.tracing import current_tracer
 
 __all__ = [
     "TRANSPORT_ENV_VAR",
@@ -153,22 +155,29 @@ def resolve_array_ref(ref) -> np.ndarray:
     if ref.kind == "tcp":
         from ..net.blockstore import fetch_block_array
 
-        arr = fetch_block_array(ref.host, ref.port, ref.block,
-                                shape=ref.shape,
-                                dtype=np.dtype(ref.dtype))
-        # The fetched block is a (read-only) process-wide cache entry;
-        # fancy indexing copies, .copy() covers the whole-array case.
-        return arr[ref.rows] if ref.rows is not None else arr.copy()
+        with current_tracer().span("resolve_ref", cat="transport",
+                                   kind="tcp", block=ref.block,
+                                   rows=ref.num_rows):
+            arr = fetch_block_array(ref.host, ref.port, ref.block,
+                                    shape=ref.shape,
+                                    dtype=np.dtype(ref.dtype))
+            # The fetched block is a (read-only) process-wide cache
+            # entry; fancy indexing copies, .copy() covers the
+            # whole-array case.
+            return arr[ref.rows] if ref.rows is not None else arr.copy()
     if ref.kind != "shm":
         raise ValueError(f"unknown ArrayRef kind {ref.kind!r}")
-    seg = _attach_segment(ref.block)
-    try:
-        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
-                          buffer=seg.buf)
-        # Fancy indexing copies; .copy() covers the whole-array case.
-        arr = view[ref.rows] if ref.rows is not None else view.copy()
-    finally:
-        seg.close()
+    with current_tracer().span("resolve_ref", cat="transport",
+                               kind="shm", block=ref.block,
+                               rows=ref.num_rows):
+        seg = _attach_segment(ref.block)
+        try:
+            view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                              buffer=seg.buf)
+            # Fancy indexing copies; .copy() covers the whole-array case.
+            arr = view[ref.rows] if ref.rows is not None else view.copy()
+        finally:
+            seg.close()
     return arr
 
 
@@ -254,10 +263,20 @@ class Transport(ABC):
         fresh :attr:`stats` epoch.  Engines read :attr:`last_epoch`
         immediately after their own teardown, so per-run ``data_plane``
         reports include teardown-time counters.
+
+        Also folds the frozen epoch into the global ``transport.*``
+        metrics counters (see docs/observability.md): subclasses finish
+        their own stat updates (segments freed, fetch counters
+        collected) *before* delegating here, so the metrics see final
+        numbers.  Repeat teardowns freeze an all-zero epoch and record
+        nothing.
         """
         with self._lock:
             self.last_epoch = self.stats
             self.stats = TransportStats()
+            for stat_name, value in self.last_epoch.as_dict().items():
+                if value:
+                    METRICS.counter(f"transport.{stat_name}").inc(value)
 
     def __enter__(self) -> "Transport":
         self.setup()
@@ -296,7 +315,10 @@ class PickleTransport(Transport):
     def publish(self, key: str, array: np.ndarray) -> str:
         with self._lock:
             if key not in self._published:
-                self._published[key] = np.ascontiguousarray(array)
+                with current_tracer().span("publish", cat="transport",
+                                           transport=self.name, key=key,
+                                           bytes=int(array.nbytes)):
+                    self._published[key] = np.ascontiguousarray(array)
         return key
 
     def make_ref(self, key: str, rows: np.ndarray | None = None
@@ -341,9 +363,13 @@ class SharedMemoryTransport(Transport):
                 # as (tiny) inline refs instead.
                 self._meta[key] = (None, tuple(arr.shape), str(arr.dtype))
                 return key
-            seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
-            np.ndarray(arr.shape, dtype=arr.dtype,
-                       buffer=seg.buf)[...] = arr
+            with current_tracer().span("publish", cat="transport",
+                                       transport=self.name, key=key,
+                                       bytes=int(arr.nbytes)):
+                seg = shared_memory.SharedMemory(create=True,
+                                                 size=arr.nbytes)
+                np.ndarray(arr.shape, dtype=arr.dtype,
+                           buffer=seg.buf)[...] = arr
             self._segments[seg.name] = seg
             self._meta[key] = (seg.name, tuple(arr.shape), str(arr.dtype))
             self.stats.published_blocks += 1

@@ -33,6 +33,7 @@ import numpy as np
 from ..data.database import Database
 from ..data.relation import Relation
 from ..errors import BudgetExceeded
+from ..obs.tracing import current_tracer, set_thread_tracer, task_tracer
 from ..query.query import JoinQuery
 from ..wcoj.cache import IntersectionCache
 from ..wcoj.leapfrog import LeapfrogStats, build_tries, leapfrog_join
@@ -64,6 +65,7 @@ class WorkerTask:
     cubes: list[tuple] = field(default_factory=list)
     budget: int | None = None             # intersection-work cap (total)
     cache_capacity: int | None = None     # per-cube intersection cache
+    trace: dict | None = None             # obs.tracing trace context
 
     @property
     def num_tuples(self) -> int:
@@ -91,6 +93,7 @@ class WorkerTaskResult:
     total_seconds: float = 0.0
     failure: str | None = None            # None | "budget" | "crash"
     failure_info: tuple = ()
+    spans: list = field(default_factory=list)  # worker-recorded spans
 
     @property
     def ok(self) -> bool:
@@ -102,8 +105,29 @@ def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
 
     Top-level and self-contained on purpose: safe to call through any
     executor backend, including spawned processes.
+
+    When ``task.trace`` asks for tracing and no recording tracer is
+    current (a fresh worker process), spans are collected locally and
+    shipped home in ``result.spans`` — even when the task fails, so
+    crashed tasks still contribute to the merged timeline.  On backends
+    sharing the coordinator's process the spans go straight into the
+    current tracer instead.
     """
+    local = task_tracer(task.trace)
+    if not local.enabled:
+        return _execute_worker_task(task)
+    previous = set_thread_tracer(local)
+    try:
+        result = _execute_worker_task(task)
+    finally:
+        set_thread_tracer(previous)
+    result.spans = local.export_payload()
+    return result
+
+
+def _execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
     start = time.perf_counter()
+    tracer = current_tracer()
     result = WorkerTaskResult(worker=task.worker,
                               level_tuples=[0] * len(task.order))
     try:
@@ -125,14 +149,20 @@ def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
             t0 = time.perf_counter()
             # With a cache, leapfrog builds its own tries (mirrors the
             # inline cached path exactly, so hit/miss counts match).
-            tries = None if cache is not None \
-                else build_tries(task.query, db, task.order)
+            if cache is not None:
+                tries = None
+            else:
+                with tracer.span("build_tries", cat="task",
+                                 worker=task.worker):
+                    tries = build_tries(task.query, db, task.order)
             t1 = time.perf_counter()
             stats = LeapfrogStats()
             try:
-                join = leapfrog_join(task.query, db, task.order,
-                                     tries=tries, cache=cache,
-                                     budget=remaining, stats=stats)
+                with tracer.span("leapfrog", cat="task",
+                                 worker=task.worker):
+                    join = leapfrog_join(task.query, db, task.order,
+                                         tries=tries, cache=cache,
+                                         budget=remaining, stats=stats)
             finally:
                 # Partial work still counts toward the budget on failure.
                 result.intersection_work += stats.intersection_work
@@ -156,6 +186,12 @@ def execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
             traceback.format_exc(limit=5),
         )
     result.total_seconds = time.perf_counter() - start
+    # The whole-task span is synthesized after the fact so it can carry
+    # the task's outcome (count, cubes run, failure mode) in its args.
+    tracer.add_span("worker_task", time.time() - result.total_seconds,
+                    result.total_seconds, cat="task", worker=task.worker,
+                    cubes=result.cubes_run, count=result.count,
+                    failure=result.failure or "ok")
     return result
 
 
@@ -173,6 +209,7 @@ class BagTask:
     order: tuple[str, ...]
     arrays: tuple = ()
     budget: int | None = None
+    trace: dict | None = None             # obs.tracing trace context
 
 
 @dataclass
@@ -186,6 +223,7 @@ class BagTaskResult:
     total_seconds: float = 0.0
     failure: str | None = None            # None | "budget" | "crash"
     failure_info: tuple = ()
+    spans: list = field(default_factory=list)  # worker-recorded spans
 
     @property
     def ok(self) -> bool:
@@ -193,7 +231,24 @@ class BagTaskResult:
 
 
 def materialize_bag_task(task: BagTask) -> BagTaskResult:
-    """Worst-case-optimally join one bag's atoms (top-level, spawn-safe)."""
+    """Worst-case-optimally join one bag's atoms (top-level, spawn-safe).
+
+    Trace handling mirrors :func:`execute_worker_task`: a fresh worker
+    process records into a local tracer and ships ``result.spans`` home.
+    """
+    local = task_tracer(task.trace)
+    if not local.enabled:
+        return _materialize_bag_task(task)
+    previous = set_thread_tracer(local)
+    try:
+        result = _materialize_bag_task(task)
+    finally:
+        set_thread_tracer(previous)
+    result.spans = local.export_payload()
+    return result
+
+
+def _materialize_bag_task(task: BagTask) -> BagTaskResult:
     start = time.perf_counter()
     result = BagTaskResult(index=task.index, attrs=tuple(task.order))
     try:
@@ -204,8 +259,10 @@ def materialize_bag_task(task: BagTask) -> BagTaskResult:
                     atom.relation, atom.attributes,
                     resolve_array_ref(ref), dedup=False)
         db = Database(relations.values())
-        res = leapfrog_join(task.query, db, order=task.order,
-                            materialize=True, budget=task.budget)
+        with current_tracer().span("leapfrog", cat="task",
+                                   bag=task.index):
+            res = leapfrog_join(task.query, db, order=task.order,
+                                materialize=True, budget=task.budget)
         result.data = res.relation.data
         result.work = res.stats.intersection_work
     except BudgetExceeded as exc:
@@ -218,6 +275,10 @@ def materialize_bag_task(task: BagTask) -> BagTaskResult:
             traceback.format_exc(limit=5),
         )
     result.total_seconds = time.perf_counter() - start
+    current_tracer().add_span(
+        "bag_task", time.time() - result.total_seconds,
+        result.total_seconds, cat="task", bag=task.index,
+        failure=result.failure or "ok")
     return result
 
 

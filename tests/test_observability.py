@@ -1,0 +1,606 @@
+"""Observability: span tracing, metrics registry, structured logging.
+
+Covers the repro.obs package itself (tracer semantics, the zero-cost
+noop contract, Chrome trace export, counter/gauge/histogram behaviour,
+key=value logging) plus the wiring: traced runs through JoinSession,
+span propagation across process pools and worker agents, metrics
+agreement with EngineResult.data_plane, and the RuntimeTelemetry edge
+cases that feed the bench tables.
+"""
+
+import json
+import logging
+import os
+import pickle
+
+import pytest
+
+from repro.distributed.metrics import CostBreakdown
+from repro.errors import ConfigError
+from repro.obs import log as obs_log
+from repro.obs import tracing
+from repro.obs.log import (
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    kv,
+    resolve_level,
+)
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracing import (
+    NOOP_TRACER,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    current_tracer,
+    set_thread_tracer,
+    set_tracer,
+    task_tracer,
+    trace_context,
+    use_tracer,
+    write_chrome_trace,
+)
+from repro.runtime.scheduler import absorb_result_observability
+from repro.runtime.telemetry import RuntimeTelemetry, modeled_vs_measured
+from repro.runtime.worker import WorkerTaskResult
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability_state():
+    """Every test starts and ends with NOOP tracing and fresh metrics."""
+    set_tracer(None)
+    set_thread_tracer(None)
+    METRICS.reset()
+    yield
+    set_tracer(None)
+    set_thread_tracer(None)
+    METRICS.reset()
+
+
+# -- tracer core --------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_records_wall_clock_and_origin(self):
+        t = Tracer(host="h1")
+        with t.span("work", cat="test", items=3):
+            pass
+        (span,) = t.spans
+        assert span.name == "work"
+        assert span.cat == "test"
+        assert span.args == {"items": 3}
+        assert span.host == "h1"
+        assert span.pid == os.getpid()
+        assert span.tid != 0
+        assert span.dur >= 0.0
+
+    def test_span_survives_exception_and_tags_error(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("x")
+        (span,) = t.spans
+        assert span.args["error"] == "ValueError"
+
+    def test_nested_spans_both_recorded(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        assert [s.name for s in t.spans] == ["inner", "outer"]
+
+    def test_add_span_clamps_negative_duration(self):
+        t = Tracer()
+        span = t.add_span("x", ts=1.0, dur=-0.5)
+        assert span.dur == 0.0
+
+    def test_mark_and_export_since(self):
+        t = Tracer()
+        t.add_span("a", 1.0, 0.1)
+        mark = t.mark()
+        t.add_span("b", 2.0, 0.1)
+        payload = t.export_payload(since=mark)
+        assert [p["name"] for p in payload] == ["b"]
+
+    def test_export_merge_round_trip_preserves_spans(self):
+        src = Tracer(host="worker-host")
+        src.add_span("task", 1.0, 0.5, cat="task", worker=4)
+        payload = pickle.loads(pickle.dumps(src.export_payload()))
+        dst = Tracer(host="coord")
+        assert dst.merge_payload(payload) == 1
+        (span,) = dst.spans
+        assert span.name == "task"
+        assert span.host == "worker-host"   # worker's stamp kept
+        assert span.args == {"worker": 4}
+
+    def test_merge_fills_only_missing_host(self):
+        dst = Tracer()
+        dst.merge_payload([{"name": "a", "ts": 1, "dur": 0, "host": ""}],
+                          host="agent-7")
+        dst.merge_payload([{"name": "b", "ts": 1, "dur": 0,
+                            "host": "real"}], host="agent-7")
+        assert dst.spans[0].host == "agent-7"
+        assert dst.spans[1].host == "real"
+
+    def test_merge_none_payload_is_noop(self):
+        t = Tracer()
+        assert t.merge_payload(None) == 0
+        assert len(t) == 0
+
+    def test_tracer_records_creating_pid(self):
+        assert Tracer().pid == os.getpid()
+
+
+class TestChromeExport:
+    def test_events_are_sorted_and_complete(self):
+        t = Tracer(host="h")
+        t.add_span("late", ts=5.0, dur=0.1)
+        t.add_span("early", ts=1.0, dur=0.2)
+        doc = t.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["early", "late"]
+        ts = [e["ts"] for e in xs]
+        assert ts == sorted(ts)
+        for e in xs:
+            assert set(e) >= {"name", "cat", "ts", "dur", "pid", "tid"}
+        assert xs[0]["ts"] == pytest.approx(1.0 * 1e6)
+        assert xs[0]["dur"] == pytest.approx(0.2 * 1e6)
+
+    def test_metadata_event_names_process_per_host_pid(self):
+        events = chrome_trace_events([
+            Span(name="a", ts=1.0, pid=11, host="hostA"),
+            Span(name="b", ts=2.0, pid=11, host="hostA"),
+            Span(name="c", ts=3.0, pid=22, host="hostB"),
+        ])
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(metas) == 2
+        assert {m["args"]["name"] for m in metas} == \
+            {"hostA (pid 11)", "hostB (pid 22)"}
+
+    def test_span_host_lands_in_event_args(self):
+        (meta, x) = chrome_trace_events(
+            [Span(name="a", ts=1.0, pid=1, host="远端")])
+        assert x["args"]["host"] == "远端"
+
+    def test_write_chrome_trace_returns_x_count(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        n = write_chrome_trace(path, [Span(name="a", ts=1.0, pid=1)])
+        assert n == 1
+        doc = json.load(open(path))
+        assert len(doc["traceEvents"]) == 2   # one M + one X
+
+
+class TestNoopTracer:
+    def test_span_returns_the_singleton_itself(self):
+        assert NOOP_TRACER.span("anything", cat="x", k=1) is NOOP_TRACER
+        with NOOP_TRACER.span("ctx") as got:
+            assert got is NOOP_TRACER
+
+    def test_all_queries_report_empty(self):
+        NOOP_TRACER.add_span("x", 1.0, 1.0)
+        assert len(NOOP_TRACER) == 0
+        assert NOOP_TRACER.export_payload() == []
+        assert NOOP_TRACER.merge_payload([{"name": "a"}]) == 0
+        assert NOOP_TRACER.mark() == 0
+
+    def test_disabled_run_allocates_no_span_objects(self, monkeypatch):
+        """Tracing off => zero Span construction on the hot path."""
+        def exploding_span(*args, **kwargs):
+            raise AssertionError("Span allocated with tracing off")
+
+        monkeypatch.setattr(tracing, "Span", exploding_span)
+        # The module-level default is the noop path.
+        with current_tracer().span("hot", cat="task", worker=0):
+            pass
+        assert current_tracer() is NOOP_TRACER
+
+
+class TestTracerInstallation:
+    def test_thread_local_wins_over_global(self):
+        global_t, local_t = Tracer(), Tracer()
+        set_tracer(global_t)
+        assert current_tracer() is global_t
+        prev = set_thread_tracer(local_t)
+        assert current_tracer() is local_t
+        set_thread_tracer(prev)
+        assert current_tracer() is global_t
+
+    def test_use_tracer_restores_previous(self):
+        t = Tracer()
+        with use_tracer(t):
+            assert current_tracer() is t
+        assert current_tracer() is NOOP_TRACER
+
+    def test_trace_context_none_when_disabled(self):
+        assert trace_context() is None
+        with use_tracer(Tracer(host="org")):
+            assert trace_context() == {"enabled": True, "origin": "org"}
+
+    def test_task_tracer_rules(self):
+        # No context: the free path.
+        assert task_tracer(None) is NOOP_TRACER
+        # Context but nothing current (a fresh worker process): record
+        # locally to ship home.
+        local = task_tracer({"enabled": True})
+        assert isinstance(local, Tracer) and local.enabled
+        # A same-process recording tracer is current: record directly.
+        with use_tracer(Tracer()):
+            assert task_tracer({"enabled": True}) is NOOP_TRACER
+
+    def test_task_tracer_detects_forked_copy_by_pid(self):
+        """A forked child inherits the coordinator's tracer object but
+        must still build a local one — spans recorded into the inherited
+        copy would never ship home."""
+        inherited = Tracer()
+        inherited.pid = os.getpid() + 1     # simulate the parent's pid
+        with use_tracer(inherited):
+            local = task_tracer({"enabled": True})
+        assert local is not inherited
+        assert isinstance(local, Tracer) and local.enabled
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_snapshots_int(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        assert reg.snapshot()["c"] == 3
+        assert isinstance(reg.snapshot()["c"], int)
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert reg.snapshot()["g"] == 4.0
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        snap = reg.snapshot()["h"]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(6.0)
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert snap["mean"] == pytest.approx(2.0)
+
+    def test_empty_histogram_snapshots_zeros(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        assert reg.snapshot()["h"]["count"] == 0
+
+    def test_kind_mismatch_raises_type_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_sorted_and_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("b.z").inc()
+        reg.counter("a.y").inc()
+        assert list(reg.snapshot()) == ["a.y", "b.z"]
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_merge_snapshot_folds_remote_numbers(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks").inc(1)
+        reg.merge_snapshot({"tasks": 4,
+                            "lat": {"count": 2, "sum": 3.0,
+                                    "min": 1.0, "max": 2.0}},
+                           prefix="agent.")
+        snap = reg.snapshot()
+        assert snap["agent.tasks"] == 4
+        assert snap["tasks"] == 1
+        assert snap["agent.lat"]["count"] == 2
+
+
+# -- logging ------------------------------------------------------------------
+
+
+class TestLogging:
+    def test_get_logger_prefixes_hierarchy(self):
+        assert get_logger("net.agent").name == "repro.net.agent"
+        assert get_logger("repro.cli").name == "repro.cli"
+
+    def test_kv_quotes_values_with_spaces(self):
+        line = kv(port=7070, msg="agent went away", ok=True)
+        assert "port=7070" in line
+        assert 'msg="agent went away"' in line
+        assert "ok=True" in line
+
+    def test_formatter_emits_key_value_line(self):
+        record = logging.LogRecord("repro.test", logging.INFO, "f.py", 1,
+                                   "hello %s", ("world",), None)
+        line = KeyValueFormatter().format(record)
+        assert "level=INFO" in line
+        assert "logger=repro.test" in line
+        assert 'msg="hello world"' in line
+        assert line.startswith("ts=")
+
+    def test_resolve_level_precedence(self, monkeypatch):
+        monkeypatch.delenv(obs_log.LOG_ENV_VAR, raising=False)
+        assert resolve_level(None) == logging.WARNING
+        monkeypatch.setenv(obs_log.LOG_ENV_VAR, "info")
+        assert resolve_level(None) == logging.INFO
+        assert resolve_level("debug") == logging.DEBUG   # flag beats env
+        with pytest.raises(ValueError):
+            resolve_level("chatty")
+
+    def test_configure_logging_is_idempotent(self):
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        try:
+            configure_logging("info")
+            configure_logging("debug")
+            ours = [h for h in root.handlers
+                    if getattr(h, "_repro_obs", False)]
+            assert len(ours) == 1
+            assert root.level == logging.DEBUG
+        finally:
+            for h in list(root.handlers):
+                if getattr(h, "_repro_obs", False):
+                    root.removeHandler(h)
+            root.handlers = before
+            root.setLevel(logging.NOTSET)
+
+
+# -- telemetry edge cases -----------------------------------------------------
+
+
+class TestTelemetryEdgeCases:
+    def test_measure_records_phase_on_exception(self):
+        tel = RuntimeTelemetry()
+        with pytest.raises(RuntimeError):
+            with tel.measure("shuffle"):
+                raise RuntimeError("boom")
+        assert tel.phase_seconds["shuffle"] >= 0.0
+
+    def test_record_overlap_clamps_negative(self):
+        tel = RuntimeTelemetry()
+        tel.record_overlap(-1.0)
+        assert tel.overlap_seconds == 0.0
+        tel.record_overlap(0.5)
+        tel.record_overlap(-2.0)
+        assert tel.overlap_seconds == 0.5
+
+    def test_as_row_key_stability(self):
+        tel = RuntimeTelemetry()
+        tel.record("shuffle", 1.0)
+        tel.record_worker(0, 2.0)
+        tel.record_worker(1, 3.0)
+        row = tel.as_row()
+        assert set(row) == {"measured_shuffle", "measured_total",
+                            "measured_overlap", "measured_straggler"}
+        assert row["measured_straggler"] == 3.0
+
+    def test_modeled_vs_measured_carries_overlap_and_straggler(self):
+        breakdown = CostBreakdown()
+        rec = modeled_vs_measured(breakdown, None)
+        assert rec["measured_overlap"] is None
+        assert rec["straggler_seconds"] is None
+        tel = RuntimeTelemetry(backend="threads")
+        tel.record_overlap(0.25)
+        tel.record_worker(3, 1.5)
+        rec = modeled_vs_measured(breakdown, tel)
+        assert rec["measured_overlap"] == 0.25
+        assert rec["straggler_seconds"] == 1.5
+        assert rec["backend"] == "threads"
+
+
+# -- scheduler absorption -----------------------------------------------------
+
+
+class TestAbsorbResultObservability:
+    def test_crashed_task_spans_still_merge(self):
+        shipped = Tracer(host="worker-9")
+        shipped.add_span("worker_task", 1.0, 0.5, cat="task")
+        crashed = WorkerTaskResult(worker=9, failure="crash",
+                                   spans=shipped.export_payload(),
+                                   total_seconds=0.5)
+        coord = Tracer(host="coord")
+        with use_tracer(coord):
+            absorb_result_observability([crashed])
+        assert [s.name for s in coord.spans] == ["worker_task"]
+        assert coord.spans[0].host == "worker-9"
+        snap = METRICS.snapshot()
+        assert snap["runtime.tasks_failed"] == 1
+        assert "runtime.tasks_completed" not in snap
+        assert snap["runtime.task_seconds"]["count"] == 1
+
+    def test_results_without_spans_count_as_completed(self):
+        ok = WorkerTaskResult(worker=0, total_seconds=0.1)
+        absorb_result_observability([ok])
+        assert METRICS.snapshot()["runtime.tasks_completed"] == 1
+
+
+# -- config / session / CLI wiring --------------------------------------------
+
+
+class TestConfigWiring:
+    def test_trace_path_env_default(self, monkeypatch):
+        from repro.api.config import RunConfig
+
+        monkeypatch.setenv(tracing.TRACE_ENV_VAR, "/tmp/via-env.json")
+        assert RunConfig().trace_path == "/tmp/via-env.json"
+        assert RunConfig(trace_path="/tmp/flag.json").trace_path == \
+            "/tmp/flag.json"
+
+    def test_log_level_validated(self):
+        from repro.api.config import RunConfig
+
+        with pytest.raises(ConfigError):
+            RunConfig(log_level="chatty")
+
+    def test_session_tracer_noop_without_trace_path(self):
+        from repro import JoinSession
+
+        with JoinSession(workers=2) as session:
+            assert session.tracer() is NOOP_TRACER
+            assert session.metrics() == METRICS.snapshot()
+
+
+class TestTracedRuns:
+    def test_threads_run_covers_route_publish_and_tasks(self, tmp_path):
+        from repro import JoinSession
+
+        path = str(tmp_path / "run.json")
+        with JoinSession(workers=2, backend="threads",
+                         transport="pickle", trace_path=path) as session:
+            result = session.query("wb", "Q1", scale=1e-5).run("adj")
+            assert result.ok
+            names = {s.name for s in session.tracer().spans}
+            assert {"engine_run", "route", "publish",
+                    "worker_task"} <= names
+            # The per-run slice rides on the result too.
+            xs = [e for e in result.trace["traceEvents"]
+                  if e["ph"] == "X"]
+            assert {e["name"] for e in xs} >= {"engine_run",
+                                               "worker_task"}
+        doc = json.load(open(path))
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ts and ts == sorted(ts)
+
+    def test_untraced_run_attaches_no_trace(self):
+        from repro import JoinSession
+
+        with JoinSession(workers=2, backend="threads",
+                         transport="pickle") as session:
+            result = session.query("wb", "Q1", scale=1e-5).run("adj")
+            assert result.ok
+            assert result.trace is None
+
+    def test_metrics_agree_with_data_plane(self):
+        from repro import JoinSession
+
+        METRICS.reset()
+        with JoinSession(workers=2, backend="threads",
+                         transport="pickle") as session:
+            result = session.query("wb", "Q1", scale=1e-5).run("adj")
+            assert result.ok
+            plane = result.data_plane
+            snap = session.metrics()
+            for key in ("published_blocks", "published_bytes",
+                        "shipped_refs", "shipped_bytes",
+                        "fetched_blocks", "fetched_bytes"):
+                # Zero-valued stats are skipped at teardown, so a
+                # missing counter reads as 0.
+                assert snap.get(f"transport.{key}", 0) == plane[key]
+
+    def test_cli_run_trace_flag_writes_chrome_json(self, tmp_path,
+                                                   capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "cli.json")
+        assert main(["run", "wb", "Q1", "--engine", "adj",
+                     "--backend", "threads", "--transport", "pickle",
+                     "--scale", "1e-5", "--samples", "10",
+                     "--trace", path]) == 0
+        assert f"trace written to {path}" in capsys.readouterr().out
+        doc = json.load(open(path))
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+# -- remote agent propagation -------------------------------------------------
+
+
+class TestAgentObservability:
+    def test_task_reply_meta_ships_agent_spans(self):
+        from repro.net import WorkerAgent
+        from repro.net.protocol import (
+            OP_BYE,
+            OP_DATA,
+            OP_TASK,
+            connect,
+            request,
+            send_frame,
+        )
+
+        agent = WorkerAgent(port=0, slots=1, mode="inline").start()
+        try:
+            sock = connect("127.0.0.1", agent.port)
+            payload = pickle.dumps((_echo_task, 7))
+            op, meta, _ = request(
+                sock, OP_TASK,
+                {"trace": {"enabled": True, "origin": "t"}, "slot": 0},
+                payload)
+            assert op == OP_DATA
+            assert [s["name"] for s in meta["spans"]] == ["agent_task"]
+            send_frame(sock, OP_BYE, {})
+            sock.close()
+        finally:
+            agent.stop()
+
+    def test_err_reply_meta_ships_agent_spans(self):
+        from repro.errors import NetError
+        from repro.net import WorkerAgent
+        from repro.net.protocol import OP_TASK, connect, request
+
+        agent = WorkerAgent(port=0, slots=1, mode="inline").start()
+        try:
+            sock = connect("127.0.0.1", agent.port)
+            payload = pickle.dumps((_crash_task, None))
+            with pytest.raises(NetError) as info:
+                request(sock, OP_TASK,
+                        {"trace": {"enabled": True, "origin": "t"},
+                         "slot": 0}, payload)
+            spans = info.value.meta["spans"]
+            assert [s["name"] for s in spans] == ["agent_task"]
+            assert spans[0]["args"]["error"] == "RuntimeError"
+            sock.close()
+        finally:
+            agent.stop()
+
+    def test_agent_stats_returns_counters_and_metrics(self):
+        from repro.net import WorkerAgent, agent_stats
+
+        agent = WorkerAgent(port=0, slots=3, mode="inline").start()
+        try:
+            stats = agent_stats("127.0.0.1", agent.port)
+        finally:
+            agent.stop()
+        assert stats["service"] == "worker-agent"
+        assert stats["slots"] == 3
+        assert stats["tasks_run"] == 0
+        assert isinstance(stats["metrics"], dict)
+
+    def test_remote_run_merges_agent_spans(self, tmp_path):
+        from repro import JoinSession
+        from repro.net import WorkerAgent
+
+        agent = WorkerAgent(port=0, slots=2, mode="inline").start()
+        path = str(tmp_path / "remote.json")
+        try:
+            with JoinSession(workers=2, backend="remote",
+                             hosts=(f"127.0.0.1:{agent.port}",),
+                             trace_path=path) as session:
+                result = session.query("wb", "Q1", scale=1e-5).run("adj")
+                assert result.ok
+                names = {s.name for s in session.tracer().spans}
+                assert {"agent_task", "worker_task", "route",
+                        "publish"} <= names
+        finally:
+            agent.stop()
+        doc = json.load(open(path))
+        assert any(e["ph"] == "X" and e["name"] == "agent_task"
+                   for e in doc["traceEvents"])
+
+
+def _echo_task(task):
+    return {"echo": task}
+
+
+def _crash_task(_task):
+    raise RuntimeError("deliberate")
