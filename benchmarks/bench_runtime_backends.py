@@ -30,20 +30,32 @@ cores (CI containers are often pinned to 1) the bench still runs and
 the table records the honest — smaller — ratios next to the
 available-core count.
 
+Since PR 7 the bench also sweeps the :mod:`repro.kernels` layer —
+``wcoj`` vs ``binary`` vs ``adaptive`` — on two deliberately opposed
+workloads: an *acyclic* 2-path (Q7) over a sparse uniform graph, where
+the vectorized hash-join kernel wins by an order of magnitude, and the
+*cyclic* skewed triangle (Q1), where the binary plan's quadratic
+intermediate makes Leapfrog the only sane choice.  The sweep asserts
+all kernels agree on counts and that ``adaptive`` never loses to the
+worst pure kernel.
+
 Run:  PYTHONPATH=src python benchmarks/bench_runtime_backends.py
-      [--json BENCH_runtime.json] [--trace-dir traces/]
+      [--json BENCH_runtime.json] [--kernels-json BENCH_kernels.json]
+      [--only-kernels] [--trace-dir traces/]
 
 ``--trace-dir`` additionally writes one Chrome trace-event JSON per
 (backend, transport, workers, pipeline) config — the pipelined overlap
 window is directly visible in Perfetto as worker-task spans crossing
 the coordinator's publish spans.
 Env:  REPRO_BENCH_SKEW_EDGES (default 12000),
+      REPRO_BENCH_KERNEL_EDGES (default 30000),
       REPRO_BENCH_RUNTIME_WORKERS (default "1,2,4"),
       REPRO_BENCH_HOSTS (optional "host:port,..." — adds a
       remote-backend sweep against running `repro serve` agents).
 
 ``--json`` writes the per-(backend, transport, workers, pipeline)
-records so the perf trajectory is machine-readable across PRs.
+records and ``--kernels-json`` the per-(workload, kernel) records so
+the perf trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
@@ -56,15 +68,21 @@ import time
 from common import fmt_table, report
 
 from repro.data import Database, Relation
-from repro.data.datasets import generate_power_law_edges
+from repro.data.datasets import generate_erdos_renyi_edges, \
+    generate_power_law_edges
 from repro.distributed import Cluster
 from repro.engines import HCubeJ, run_engine_safely
+from repro.kernels import available_kernels
 from repro.obs.tracing import NOOP_TRACER, Tracer, use_tracer, \
     write_chrome_trace
 from repro.query import paper_query
 from repro.runtime import available_parallelism, create_executor
 
 SKEW_EDGES = int(float(os.environ.get("REPRO_BENCH_SKEW_EDGES", "12000")))
+KERNEL_EDGES = int(float(os.environ.get("REPRO_BENCH_KERNEL_EDGES",
+                                        "30000")))
+#: Best-of-N wall-clock per (workload, kernel) config.
+KERNEL_REPS = 3
 WORKER_SWEEP = tuple(
     int(w) for w in
     os.environ.get("REPRO_BENCH_RUNTIME_WORKERS", "1,2,4").split(","))
@@ -85,6 +103,74 @@ def skew_testcase():
                            dedup=True)
                   for atom in query.atoms)
     return query, db
+
+
+def path_testcase():
+    """Acyclic 2-path (Q7) over a sparse uniform graph (avg degree 1).
+
+    Sized so the greedy join-size estimate stays under the adaptive
+    planner's blowup limit: the hash-join kernel is the right call, and
+    Leapfrog pays one Python-level iteration per distinct binding of
+    the first attribute.
+    """
+    query = paper_query("Q7")
+    edges = generate_erdos_renyi_edges(
+        KERNEL_EDGES, num_nodes=max(64, KERNEL_EDGES), seed=11,
+        symmetric=False)
+    db = Database(Relation(atom.relation, ("src", "dst"), edges,
+                           dedup=True)
+                  for atom in query.atoms)
+    return query, db
+
+
+def run_kernels():
+    """Sweep kernels over one acyclic and one cyclic workload.
+
+    Serial, one worker, inline path: wall-clock differences are pure
+    kernel differences (no transport or pool noise).  Asserts all
+    kernels agree on counts and ``adaptive`` never loses to the worst
+    pure kernel.
+    """
+    workloads = [("Q7_path_uniform", *path_testcase()),
+                 ("Q1_triangle_skew", *skew_testcase())]
+    cluster = Cluster(num_workers=1)
+    records = []
+    for name, query, db in workloads:
+        counts = set()
+        times: dict[str, float] = {}
+        for kernel in available_kernels():
+            engine = HCubeJ(kernel=kernel)
+            best = float("inf")
+            result = None
+            for _ in range(KERNEL_REPS):
+                start = time.perf_counter()
+                result = run_engine_safely(engine, query, db, cluster)
+                best = min(best, time.perf_counter() - start)
+            assert result.ok, f"{name}/{kernel} failed: {result.failure}"
+            counts.add(result.count)
+            times[kernel] = best
+            records.append({
+                "workload": name,
+                "kernel": kernel,
+                "resolved": result.extra.get("kernel"),
+                "reason": result.extra.get("kernel_reason"),
+                "count": result.count,
+                "best_seconds": best,
+            })
+        assert len(counts) == 1, f"kernels disagree on {name}: {counts}"
+        for rec in records:
+            if rec["workload"] == name:
+                rec["speedup_vs_wcoj"] = times["wcoj"] / \
+                    rec["best_seconds"]
+        worst_pure = max(times[k] for k in times if k != "adaptive")
+        # Lenient in-bench guard (CI repeats it on the emitted JSON):
+        # adaptive is one of the pure kernels plus a selection pass, so
+        # losing to the *worst* pure kernel means the planner chose
+        # badly — 15% headroom absorbs wall-clock noise.
+        assert times["adaptive"] <= worst_pure * 1.15, \
+            (f"adaptive lost to the worst pure kernel on {name}: "
+             f"{times}")
+    return records
 
 
 def _run_once(query, db, cluster, backend, transport, workers,
@@ -196,6 +282,12 @@ def main(argv=None) -> None:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write machine-readable records "
                              "(e.g. BENCH_runtime.json)")
+    parser.add_argument("--kernels-json", metavar="PATH", default=None,
+                        help="write the kernel-sweep records "
+                             "(e.g. BENCH_kernels.json)")
+    parser.add_argument("--only-kernels", action="store_true",
+                        help="run only the kernel sweep (skip the "
+                             "backend x transport x pipeline sweep)")
     parser.add_argument("--trace-dir", metavar="DIR", default=None,
                         help="write one Chrome trace-event JSON per "
                              "(backend, transport, workers, pipeline) "
@@ -205,6 +297,33 @@ def main(argv=None) -> None:
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
     cores = available_parallelism()
+    kernel_records = run_kernels()
+    kernel_rows = [[r["workload"], r["kernel"], r["resolved"],
+                    f"{r['count']:,}", f"{r['best_seconds']:.4f}",
+                    f"{r['speedup_vs_wcoj']:.2f}x"]
+                   for r in kernel_records]
+    kernel_table = fmt_table(
+        ["workload", "kernel", "resolved", "count", "best_s",
+         "speedup_vs_wcoj"],
+        kernel_rows,
+        title=(f"Join kernels on opposed workloads (acyclic "
+               f"{KERNEL_EDGES:,}-edge path, cyclic {SKEW_EDGES:,}-edge "
+               f"skew triangle; best of {KERNEL_REPS}, serial inline)"))
+    report("kernels", kernel_table)
+    if args.kernels_json:
+        payload = {
+            "bench": "kernels",
+            "kernel_edges": KERNEL_EDGES,
+            "skew_edges": SKEW_EDGES,
+            "reps": KERNEL_REPS,
+            "usable_cores": cores,
+            "records": kernel_records,
+        }
+        with open(args.kernels_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.kernels_json} ({len(kernel_records)} records)")
+    if args.only_kernels:
+        return
     records = run_backends(trace_dir=args.trace_dir)
     rows = [[r["backend"], r["transport"], r["workers"], r["pipeline"],
              f"{r['count']:,}",

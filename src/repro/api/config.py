@@ -24,6 +24,8 @@ Environment variables::
     REPRO_SEED         sampling seed                  (default 0)
     REPRO_SCALE        dataset scale — resolved by repro.data.datasets
     REPRO_WORK_BUDGET  Leapfrog work budget           (default None)
+    REPRO_KERNEL       join kernel: wcoj | binary | adaptive
+                                                      (default adaptive)
     REPRO_MEMORY_TUPLES per-worker memory budget      (default None)
     REPRO_PIPELINE     pipelined epochs: on | off     (default on)
     REPRO_TRACE        Chrome-trace output path       (default None)
@@ -40,14 +42,16 @@ from dataclasses import dataclass, field
 from ..distributed.cluster import RUNTIME_BACKENDS, Cluster, default_workers
 from ..engines.base import EngineOptions
 from ..errors import ConfigError
+from ..kernels import KERNEL_ENV_VAR, default_kernel, kernel_spec
 from ..obs.log import LOG_ENV_VAR, resolve_level
 from ..obs.tracing import TRACE_ENV_VAR
 from ..runtime.executor import PIPELINE_ENV_VAR, default_pipeline
 
 __all__ = ["RunConfig", "EngineOptions", "default_backend",
-           "default_hosts", "default_log_level", "default_pipeline",
-           "default_samples", "default_seed", "default_trace_path",
-           "LOG_ENV_VAR", "PIPELINE_ENV_VAR", "TRACE_ENV_VAR"]
+           "default_hosts", "default_kernel", "default_log_level",
+           "default_pipeline", "default_samples", "default_seed",
+           "default_trace_path", "KERNEL_ENV_VAR", "LOG_ENV_VAR",
+           "PIPELINE_ENV_VAR", "TRACE_ENV_VAR"]
 
 
 HOSTS_ENV_VAR = "REPRO_HOSTS"
@@ -153,6 +157,10 @@ class RunConfig:
     work_budget: int | None = field(
         default_factory=lambda: _env_int(WORK_BUDGET_ENV_VAR, None,
                                          minimum=1))
+    #: :mod:`repro.kernels` key driving per-cube/per-bag join execution
+    #: (REPRO_KERNEL, default ``adaptive``).  ``wcoj`` reproduces the
+    #: historical pure-Leapfrog counters exactly.
+    kernel: str = field(default_factory=default_kernel)
     #: Per-worker memory budget in tuples; None disables OOM checking
     #: (REPRO_MEMORY_TUPLES).
     memory_tuples: float | None = field(
@@ -182,6 +190,7 @@ class RunConfig:
             raise ConfigError(
                 f"unknown backend {self.backend!r}; "
                 f"choose from {RUNTIME_BACKENDS}")
+        kernel_spec(self.kernel)   # validates; raises ConfigError
         if self.hosts is not None and not isinstance(self.hosts, tuple):
             # Accept a comma-separated string or any iterable of specs.
             hosts = (tuple(p.strip() for p in self.hosts.split(",")
@@ -222,5 +231,6 @@ class RunConfig:
         config's ``samples``/``seed``/``work_budget``.
         """
         base = EngineOptions(samples=self.samples, seed=self.seed,
-                             work_budget=self.work_budget)
+                             work_budget=self.work_budget,
+                             kernel=self.kernel)
         return base.merged_with(options, **overrides)

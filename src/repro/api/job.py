@@ -36,6 +36,10 @@ class ExplainReport:
     #: Modeled model-seconds per phase of the chosen plan:
     #: precompute (costM), communication (costC), computation (costE).
     cost_breakdown: dict[str, float] = field(default_factory=dict)
+    #: Per-bag :mod:`repro.kernels` decisions under the session's
+    #: kernel: ``{bag_index: (key, reason)}``.
+    kernel_decisions: dict[int, tuple[str, str]] = \
+        field(default_factory=dict)
 
     @property
     def plan(self):
@@ -67,6 +71,11 @@ class ExplainReport:
                      f"-> total={self.estimated_total:.4f}")
         lines.append(f"explored {self.report.explored_configurations} "
                      f"configurations in {self.report.wall_seconds:.2f}s")
+        if self.kernel_decisions:
+            lines.append("kernel decisions:")
+            for index, (key, reason) in sorted(
+                    self.kernel_decisions.items()):
+                lines.append(f"  v{index}: {key}  ({reason})")
         return "\n".join(lines)
 
 
@@ -152,8 +161,22 @@ class QueryJob:
                 model.cost_e(idx, plan.precompute, plan.traversal[:i])
                 for i, idx in enumerate(plan.traversal)),
         }
+        # Per-bag kernel decisions (pure — no spans/metrics recorded):
+        # what repro.kernels would pick for each bag's subquery under
+        # the session's configured kernel.
+        from ..kernels.adaptive import choose_kernel
+
+        decisions: dict[int, tuple[str, str]] = {}
+        for bag in tree.bags:
+            sub = JoinQuery(
+                [self.query.atoms[i] for i in bag.atom_indices],
+                name=f"bag{bag.index}")
+            choice = choose_kernel(self.session.config.kernel, sub,
+                                   self.db)
+            decisions[bag.index] = (choice.key, choice.reason)
         return ExplainReport(query=self.query, hypertree=tree,
-                             report=report, cost_breakdown=breakdown)
+                             report=report, cost_breakdown=breakdown,
+                             kernel_decisions=decisions)
 
     def estimate(self, samples: int | None = None,
                  seed: int | None = None):
@@ -205,7 +228,8 @@ class QueryJob:
         with use_tracer(tracer):
             with tracer.span("engine_run", cat="engine",
                              engine=getattr(obj, "name", str(engine)),
-                             query=self.query.name or "?"):
+                             query=self.query.name or "?",
+                             kernel=self.session.config.kernel):
                 result = run_engine_safely(obj, self.query, self.db,
                                            self.session.cluster,
                                            executor=executor)

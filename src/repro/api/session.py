@@ -56,6 +56,7 @@ class JoinSession:
                  seed: int | None = None,
                  scale: float | None = None,
                  work_budget: int | None = None,
+                 kernel: str | None = None,
                  memory_tuples: float | None = None,
                  pipeline: bool | None = None,
                  trace_path: str | None = None,
@@ -82,7 +83,8 @@ class JoinSession:
         self.config = (config or RunConfig()).replace(
             workers=workers, backend=backend, transport=transport,
             hosts=hosts, samples=samples, seed=seed, scale=scale,
-            work_budget=work_budget, memory_tuples=memory_tuples,
+            work_budget=work_budget, kernel=kernel,
+            memory_tuples=memory_tuples,
             pipeline=pipeline, trace_path=trace_path,
             log_level=log_level)
         if cluster is not None:

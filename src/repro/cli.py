@@ -31,6 +31,7 @@ from .api import JoinSession, RunConfig
 from .data import DATASETS, dataset_names, default_scale, load_dataset
 from .distributed.cluster import RUNTIME_BACKENDS
 from .engines import registry
+from .kernels import available_kernels
 from .query import PAPER_QUERIES
 from .runtime.transport import available_transports
 from .wcoj import leapfrog_join
@@ -63,6 +64,7 @@ def _session_for(args) -> JoinSession:
         workers=args.workers, backend=args.backend,
         transport=args.transport, hosts=getattr(args, "hosts", None),
         samples=args.samples, scale=_resolve_scale(args.scale),
+        kernel=getattr(args, "kernel", None),
         pipeline=(None if pipeline_flag is None
                   else pipeline_flag == "on"),
         trace_path=getattr(args, "trace", None),
@@ -124,7 +126,8 @@ def _cmd_run(args) -> int:
               f"edges/relation, {session.cluster.num_workers} workers, "
               f"backend={session.config.backend}, "
               f"transport={session.transport_label}, "
-              f"pipeline={'on' if session.config.pipeline else 'off'}")
+              f"pipeline={'on' if session.config.pipeline else 'off'}, "
+              f"kernel={session.config.kernel}")
         print(f"{'engine':14} {'count':>12} {'opt':>8} {'pre':>8} "
               f"{'comm':>8} {'comp':>8} {'total':>8} {'wall':>8} "
               f"{'ship':>8} {'fetch':>8}")
@@ -274,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "remote: 'host:port' agents (python -m repro "
                             "serve) and/or 'local[:slots]' (default: "
                             "$REPRO_HOSTS)")
+    run_p.add_argument("--kernel", default=None,
+                       choices=list(available_kernels()),
+                       help="join kernel for per-cube/per-bag execution: "
+                            "'wcoj' is pure Leapfrog, 'binary' chains "
+                            "vectorized hash joins, 'adaptive' picks per "
+                            "subquery (default: $REPRO_KERNEL or "
+                            "adaptive); see docs/kernels.md")
     run_p.add_argument("--pipeline", default=None, choices=["on", "off"],
                        help="pipelined epochs: overlap routing/publish "
                             "with task execution ('off' restores the "

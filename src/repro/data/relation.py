@@ -97,7 +97,7 @@ class Relation:
         deduplicated array may pass ``False`` to skip the sort.
     """
 
-    __slots__ = ("name", "attributes", "data")
+    __slots__ = ("name", "attributes", "data", "_distinct")
 
     def __init__(self, name: str, attributes: Sequence[str], data=(),
                  dedup: bool = True):
@@ -113,6 +113,9 @@ class Relation:
             arr = _dedup_sorted(lexsorted_rows(arr))
         self.data = arr
         self.data.setflags(write=False)
+        #: Memoized per-column distinct counts (column index -> count);
+        #: shared across rename (same data) and remapped by reorder/project.
+        self._distinct: dict[int, int] = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -205,18 +208,48 @@ class Relation:
         """Sorted distinct values of ``attr``."""
         return np.unique(self.column(attr))
 
+    def distinct_count(self, attr: str) -> int:
+        """Number of distinct values of ``attr``, memoized per column.
+
+        Plan search (:func:`repro.wcoj.binary_join._estimate_join_size`,
+        degree-order selection, the adaptive kernel chooser) asks for the
+        same counts repeatedly; the O(n log n) ``np.unique`` runs once.
+        """
+        j = self.column_index(attr)
+        count = self._distinct.get(j)
+        if count is None:
+            count = int(np.unique(self.data[:, j]).shape[0])
+            self._distinct[j] = count
+        return count
+
     # -- relational algebra -------------------------------------------------------
+
+    def _share_distinct(self, out: "Relation",
+                        idx: Sequence[int]) -> "Relation":
+        """Carry cached distinct counts onto a derived relation.
+
+        Valid whenever ``out``'s column ``k`` holds exactly the values of
+        our column ``idx[k]`` (rename/reorder keep rows; projection drops
+        duplicate rows only, which never removes a value from a column).
+        """
+        out._distinct = {k: self._distinct[j]
+                         for k, j in enumerate(idx) if j in self._distinct}
+        return out
 
     def project(self, attrs: Sequence[str], name: str | None = None) -> "Relation":
         """Duplicate-eliminating projection onto ``attrs`` (in given order)."""
         attrs = tuple(attrs)
         idx = [self.column_index(a) for a in attrs]
-        return Relation(name or self.name, attrs, self.data[:, idx], dedup=True)
+        return self._share_distinct(
+            Relation(name or self.name, attrs, self.data[:, idx], dedup=True),
+            idx)
 
     def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
         """Rename attributes via ``mapping`` (missing attrs stay)."""
         attrs = tuple(mapping.get(a, a) for a in self.attributes)
-        return Relation(name or self.name, attrs, self.data, dedup=False)
+        out = Relation(name or self.name, attrs, self.data, dedup=False)
+        out._distinct = self._distinct  # same data, same column order
+        return out
 
     def reorder(self, attrs: Sequence[str], name: str | None = None) -> "Relation":
         """Reorder columns to ``attrs`` — a permutation of the schema."""
@@ -226,7 +259,10 @@ class Relation:
                 f"{attrs} is not a permutation of {self.attributes}"
             )
         idx = [self.column_index(a) for a in attrs]
-        return Relation(name or self.name, attrs, self.data[:, idx], dedup=False)
+        return self._share_distinct(
+            Relation(name or self.name, attrs, self.data[:, idx],
+                     dedup=False),
+            idx)
 
     def select_equals(self, attr: str, value: int, name: str | None = None) -> "Relation":
         """Selection sigma_{attr = value}."""

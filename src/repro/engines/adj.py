@@ -35,15 +35,18 @@ class ADJ:
     name = "ADJ"
     hcube_impl = "merge"
     options_map = {"samples": "num_samples", "seed": "seed",
-                   "work_budget": "work_budget", "hypertree": "hypertree"}
+                   "work_budget": "work_budget", "hypertree": "hypertree",
+                   "kernel": "kernel"}
 
     def __init__(self, num_samples: int = 200, seed: int = 0,
                  work_budget: int | None = None,
-                 hypertree: Hypertree | None = None):
+                 hypertree: Hypertree | None = None,
+                 kernel: str | None = None):
         self.num_samples = num_samples
         self.seed = seed
         self.work_budget = work_budget
         self.hypertree = hypertree
+        self.kernel = kernel
 
     # -- phases ------------------------------------------------------------------
 
@@ -64,8 +67,8 @@ class ADJ:
         # communication is exchanging the first attribute's projections.
         attr = query.attributes[0]
         projection_tuples = sum(
-            int(np.unique(db[a.relation].data[:, a.attributes.index(attr)]
-                          ).shape[0])
+            db[a.relation].distinct_count(
+                db[a.relation].attributes[a.attributes.index(attr)])
             for a in query.atoms_with(attr))
         ledger.charge_seconds(projection_tuples / params.alpha_pull,
                               "optimization")
@@ -81,9 +84,20 @@ class ADJ:
             Relation(rel.name, rel.attributes, rel.data, dedup=False)
             for rel in db)
         for cand in plan.candidates:
-            result = leapfrog_join(cand.subquery, db,
-                                   order=cand.attributes, materialize=True,
-                                   budget=self.work_budget)
+            if self.kernel is not None:
+                from ..kernels import create_kernel
+                from ..kernels.adaptive import select_kernel
+
+                choice = select_kernel(self.kernel, cand.subquery, db,
+                                       scope=f"precompute:{cand.name}")
+                result = create_kernel(choice.key).execute(
+                    cand.subquery, db, cand.attributes, materialize=True,
+                    budget=self.work_budget)
+            else:
+                result = leapfrog_join(cand.subquery, db,
+                                       order=cand.attributes,
+                                       materialize=True,
+                                       budget=self.work_budget)
             rel = Relation(cand.name, cand.attributes,
                            result.relation.data, dedup=False)
             if rel.name in working:
@@ -126,7 +140,7 @@ class ADJ:
         outcome = one_round_execute(
             rewritten, working, cluster, plan.attribute_order, ledger,
             impl=self.hcube_impl, work_budget=self.work_budget,
-            executor=executor)
+            executor=executor, kernel=self.kernel)
         extra = {
             "plan": plan.describe(),
             "order": plan.attribute_order,
@@ -136,6 +150,9 @@ class ADJ:
             "worker_work": outcome.worker_work,
             "worker_loads": outcome.worker_loads,
         }
+        if outcome.kernel is not None:
+            extra["kernel"] = outcome.kernel
+            extra["kernel_reason"] = outcome.kernel_reason
         if outcome.telemetry is not None:
             extra["telemetry"] = outcome.telemetry
         if outcome.data_plane is not None:

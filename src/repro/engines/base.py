@@ -48,6 +48,10 @@ class EngineOptions:
     order: tuple[str, ...] | None = None
     #: Explicit hypertree decomposition (engines that accept one).
     hypertree: Hypertree | None = None
+    #: :mod:`repro.kernels` key (``wcoj`` | ``binary`` | ``adaptive``)
+    #: for per-bag/per-cube join execution; None keeps each engine's
+    #: historical pure-Leapfrog path.
+    kernel: str | None = None
 
     def merged_with(self, other: "EngineOptions | None" = None,
                     **overrides) -> "EngineOptions":
@@ -224,7 +228,7 @@ def attach_degree_order(query: JoinQuery, db: Database) -> tuple[str, ...]:
         for atom in query.atoms_with(attr):
             rel = db[atom.relation]
             col = atom.attributes.index(attr)
-            count = int(np.unique(rel.data[:, col]).shape[0])
+            count = rel.distinct_count(rel.attributes[col])
             best = count if best is None else min(best, count)
         distinct[attr] = best or 0
     order = [min(query.attributes, key=lambda a: (distinct[a], a))]

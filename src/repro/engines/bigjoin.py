@@ -49,15 +49,21 @@ class BigJoin:
 
     name = "BigJoin"
     options_map = {"budget_bindings": "budget_bindings",
-                   "work_budget": "work_budget", "order": "order"}
+                   "work_budget": "work_budget", "order": "order",
+                   "kernel": "kernel"}
 
     def __init__(self, budget_bindings: int | None = None,
                  work_budget: int | None = None,
-                 order: tuple[str, ...] | None = None):
+                 order: tuple[str, ...] | None = None,
+                 kernel: str | None = None):
         #: Cap on total shuffled bindings (timeout analogue).
         self.budget_bindings = budget_bindings
         self.work_budget = work_budget
         self.order = order
+        #: Accepted for session-level uniformity, but pinned to wcoj:
+        #: the round-per-attribute cost model charges shuffles from the
+        #: per-level binding counts only Leapfrog produces.
+        self.kernel = kernel
 
     def _parallel_pass(self, query: JoinQuery, db: Database,
                        cluster: Cluster, order: tuple[str, ...],
@@ -157,6 +163,10 @@ class BigJoin:
             "level_tuples": level_tuples,
             "total_bindings": total_bindings,
         }
+        if self.kernel is not None:
+            extra["kernel"] = "wcoj"
+            extra["kernel_reason"] = ("pinned: round-per-attribute model "
+                                      "needs per-level binding counts")
         if telemetry is not None:
             extra["telemetry"] = telemetry
         if data_plane is not None:

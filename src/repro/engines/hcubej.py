@@ -25,12 +25,15 @@ class HCubeJ:
 
     name = "HCubeJ"
     hcube_impl = "push"
-    options_map = {"work_budget": "work_budget", "order": "order"}
+    options_map = {"work_budget": "work_budget", "order": "order",
+                   "kernel": "kernel"}
 
     def __init__(self, work_budget: int | None = None,
-                 order: tuple[str, ...] | None = None):
+                 order: tuple[str, ...] | None = None,
+                 kernel: str | None = None):
         self.work_budget = work_budget
         self.order = order
+        self.kernel = kernel
 
     def _charge_optimization(self, query: JoinQuery, cluster: Cluster,
                              ledger) -> None:
@@ -50,7 +53,8 @@ class HCubeJ:
         order = self.order or attach_degree_order(query, db)
         outcome = one_round_execute(
             query, db, cluster, order, ledger, impl=self.hcube_impl,
-            work_budget=self.work_budget, executor=executor)
+            work_budget=self.work_budget, executor=executor,
+            kernel=self.kernel)
         extra = {
             "order": order,
             "level_tuples": outcome.level_tuples,
@@ -59,6 +63,9 @@ class HCubeJ:
             "worker_work": outcome.worker_work,
             "worker_loads": outcome.worker_loads,
         }
+        if outcome.kernel is not None:
+            extra["kernel"] = outcome.kernel
+            extra["kernel_reason"] = outcome.kernel_reason
         if outcome.telemetry is not None:
             extra["telemetry"] = outcome.telemetry
         if outcome.data_plane is not None:

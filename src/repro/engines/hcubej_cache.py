@@ -35,7 +35,9 @@ class HCubeJCache(HCubeJ):
 
     name = "HCubeJ+Cache"
     hcube_impl = "push"
-    # options_map inherited from HCubeJ (work_budget, order).
+    # options_map inherited from HCubeJ (work_budget, order, kernel).
+    # Non-wcoj kernels have no intersection cache; the capacity is
+    # computed but ignored on those paths.
 
     def run(self, query: JoinQuery, db: Database, cluster: Cluster,
             executor: Executor | None = None) -> EngineResult:
@@ -53,7 +55,7 @@ class HCubeJCache(HCubeJ):
         outcome = one_round_execute(
             query, db, cluster, order, ledger, impl=self.hcube_impl,
             cache_capacity=cache_capacity, work_budget=self.work_budget,
-            executor=executor)
+            executor=executor, kernel=self.kernel)
         extra = {
             "order": order,
             "level_tuples": outcome.level_tuples,
@@ -61,6 +63,9 @@ class HCubeJCache(HCubeJ):
             "cache_hits": outcome.cache_hits,
             "cache_misses": outcome.cache_misses,
         }
+        if outcome.kernel is not None:
+            extra["kernel"] = outcome.kernel
+            extra["kernel_reason"] = outcome.kernel_reason
         if outcome.telemetry is not None:
             extra["telemetry"] = outcome.telemetry
         if outcome.data_plane is not None:

@@ -66,6 +66,10 @@ class OneRoundOutcome:
     worker_work: dict[int, float] | None = None
     worker_loads: dict[int, int] | None = None
     telemetry: RuntimeTelemetry | None = None
+    #: Concrete :mod:`repro.kernels` key the cubes ran with (None on the
+    #: historical kernel-less path) and the chooser's reason.
+    kernel: str | None = None
+    kernel_reason: str | None = None
     #: Physical data-plane movement (runtime path only): what the
     #: coordinator actually serialized into task payloads.  Under the
     #: shm transport ``data_plane_stats.bytes_copied`` counts descriptor
@@ -82,8 +86,8 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                       work_budget: int | None = None,
                       comm_phase: str = "communication",
                       executor: Executor | None = None,
-                      telemetry: RuntimeTelemetry | None = None
-                      ) -> OneRoundOutcome:
+                      telemetry: RuntimeTelemetry | None = None,
+                      kernel: str | None = None) -> OneRoundOutcome:
     """Shuffle with HCube, then run Leapfrog on every cube.
 
     ``cache_capacity(worker_load)`` sizes a per-cube intersection cache
@@ -97,7 +101,19 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
     work; its :attr:`~repro.runtime.Executor.transport` carries the
     payloads and is torn down (segments released) when the run finishes,
     successfully or not.
+
+    ``kernel`` is a :mod:`repro.kernels` key (``adaptive`` resolves to a
+    concrete kernel once, on the coordinator, against the full database
+    — every cube then runs the same choice).  ``None`` keeps the
+    historical pure-Leapfrog path, bit-identical to the seed counters.
     """
+    kernel_choice = None
+    if kernel is not None:
+        from ..kernels.adaptive import select_kernel
+
+        kernel_choice = select_kernel(kernel, query, db,
+                                      scope=f"one_round:{impl}")
+    kernel_key = kernel_choice.key if kernel_choice is not None else "wcoj"
     if telemetry is None and executor is not None:
         telemetry = RuntimeTelemetry(backend=executor.name,
                                      num_workers=cluster.num_workers)
@@ -135,7 +151,8 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                 # coordinator is still publishing/slicing later ones.
                 task_stream = iter_routed_tasks(
                     routing, db, order, budget=work_budget,
-                    transport=transport, cache_capacity=cache_capacity)
+                    transport=transport, cache_capacity=cache_capacity,
+                    kernel=kernel_key)
                 results = run_streamed_tasks(executor, task_stream,
                                              telemetry=telemetry)
             else:
@@ -143,7 +160,8 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
                 tasks = build_routed_tasks(routing, db, order,
                                            budget=work_budget,
                                            transport=transport,
-                                           cache_capacity=cache_capacity)
+                                           cache_capacity=cache_capacity,
+                                           kernel=kernel_key)
                 if telemetry is not None:
                     telemetry.record("publish",
                                      time.perf_counter() - publish_start)
@@ -183,10 +201,18 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
             telemetry=telemetry,
             data_plane=data_plane,
             data_plane_stats=data_plane_stats,
+            kernel=kernel_choice.key if kernel_choice else None,
+            kernel_reason=(kernel_choice.reason if kernel_choice
+                           else None),
         )
 
     shuffle = routing.materialize(db)
     local_query = shuffle.local_query
+    kern = None
+    if kernel_key != "wcoj":
+        from ..kernels import create_kernel
+
+        kern = create_kernel(kernel_key)
     count = 0
     total_work = 0
     level_tuples = [0] * len(order)
@@ -197,15 +223,19 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
     for cube, cube_db in enumerate(shuffle.cube_databases):
         worker = grid.worker_of_cube(cube)
         cache = None
-        if cache_capacity is not None:
+        if cache_capacity is not None and kern is None:
             cache = IntersectionCache(int(cache_capacity(
                 shuffle.worker_loads.get(worker, 0))))
         remaining = None if work_budget is None \
             else max(0, work_budget - total_work)
         if remaining == 0:
             raise BudgetExceeded(total_work, work_budget)
-        result = leapfrog_join(local_query, cube_db, order,
-                               cache=cache, budget=remaining)
+        if kern is not None:
+            result = kern.execute(local_query, cube_db, order,
+                                  budget=remaining)
+        else:
+            result = leapfrog_join(local_query, cube_db, order,
+                                   cache=cache, budget=remaining)
         count += result.count
         stats: LeapfrogStats = result.stats
         total_work += stats.intersection_work
@@ -229,4 +259,6 @@ def one_round_execute(query: JoinQuery, db: Database, cluster: Cluster,
         worker_work=worker_work,
         worker_loads=dict(shuffle.worker_loads),
         telemetry=telemetry,
+        kernel=kernel_choice.key if kernel_choice else None,
+        kernel_reason=kernel_choice.reason if kernel_choice else None,
     )

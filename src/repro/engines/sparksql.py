@@ -33,6 +33,7 @@ from ..errors import BudgetExceeded, OutOfMemory
 from ..query.query import JoinQuery
 from ..runtime.executor import Executor
 from ..runtime.telemetry import RuntimeTelemetry
+from ..kernels.binary import hash_join
 from ..runtime.worker import PartitionJoinTask, join_partition_pair_task
 from ..wcoj.binary_join import greedy_left_deep_plan
 from .base import EngineResult
@@ -44,11 +45,16 @@ class SparkSQLJoin:
     """Cost-ordered left-deep distributed hash join."""
 
     name = "SparkSQL"
-    options_map = {"budget_tuples": "budget_tuples"}
+    options_map = {"budget_tuples": "budget_tuples",
+                   "kernel": "kernel"}
 
-    def __init__(self, budget_tuples: int | None = None):
+    def __init__(self, budget_tuples: int | None = None,
+                 kernel: str | None = None):
         #: Cap on total intermediate tuples (the 12-hour-timeout analogue).
         self.budget_tuples = budget_tuples
+        #: Accepted for session-level uniformity, but pinned to binary:
+        #: this engine *is* the pairwise hash-join baseline.
+        self.kernel = kernel
 
     @staticmethod
     def _partitioned_join(current: Relation, right: Relation,
@@ -163,7 +169,7 @@ class SparkSQLJoin:
                                              cluster, executor, telemetry,
                                              data_plane)
             else:
-                out = current.natural_join(right)
+                out = hash_join(current, right)
             work = len(current) + len(right) + len(out)
             ledger.charge_seconds(
                 work / (params.beta_work * cluster.num_workers),
@@ -181,6 +187,10 @@ class SparkSQLJoin:
             "plan": plan.atom_order,
             "intermediate_tuples": total_intermediate,
         }
+        if self.kernel is not None:
+            extra["kernel"] = "binary"
+            extra["kernel_reason"] = ("pinned: the pairwise hash-join "
+                                      "baseline is the binary kernel")
         if telemetry is not None:
             extra["telemetry"] = telemetry
             extra["data_plane"] = data_plane

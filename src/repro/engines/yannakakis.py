@@ -46,18 +46,40 @@ class YannakakisJoin:
     """GHD + full reducer + bottom-up joins."""
 
     name = "Yannakakis"
-    options_map = {"work_budget": "work_budget", "hypertree": "hypertree"}
+    options_map = {"work_budget": "work_budget", "hypertree": "hypertree",
+                   "kernel": "kernel"}
 
     def __init__(self, work_budget: int | None = None,
-                 hypertree: Hypertree | None = None):
+                 hypertree: Hypertree | None = None,
+                 kernel: str | None = None):
         self.work_budget = work_budget
         self.hypertree = hypertree
+        self.kernel = kernel
+
+    def _bag_kernels(self, query: JoinQuery, db: Database,
+                     tree: Hypertree) -> dict[int, str]:
+        """Resolve a concrete kernel per bag, on the coordinator.
+
+        Each bag is its own subquery, so ``adaptive`` may pick binary
+        for an acyclic bag and wcoj for a cyclic one within one run.
+        """
+        from ..kernels.adaptive import select_kernel
+
+        choices: dict[int, str] = {}
+        for bag in tree.bags:
+            sub = JoinQuery([query.atoms[i] for i in bag.atom_indices],
+                            name=f"bag{bag.index}")
+            choice = select_kernel(self.kernel, sub, db,
+                                   scope=f"bag{bag.index}")
+            choices[bag.index] = choice.key
+        return choices
 
     def _materialize_parallel(self, query: JoinQuery, db: Database,
                               tree: Hypertree, executor: Executor,
                               stats: YannakakisStats,
                               telemetry: RuntimeTelemetry,
-                              num_workers: int
+                              num_workers: int,
+                              bag_kernels: dict[int, str]
                               ) -> tuple[dict[int, Relation], dict]:
         """One bag-materialization task per GHD bag, via the transport.
 
@@ -83,7 +105,8 @@ class YannakakisJoin:
                     transport.make_ref(transport.publish(
                         f"rel:{a.relation}", db[a.relation].data))
                     for a in sub.atoms),
-                budget=self.work_budget, trace=ctx)
+                budget=self.work_budget, trace=ctx,
+                kernel=bag_kernels.get(bag.index, "wcoj"))
 
         try:
             if getattr(executor, "pipeline", False):
@@ -136,6 +159,9 @@ class YannakakisJoin:
         stats = YannakakisStats()
 
         # Phase 1: materialize bags (pre-computing: shuffle inputs + WCOJ).
+        bag_kernels: dict[int, str] = {}
+        if self.kernel is not None:
+            bag_kernels = self._bag_kernels(query, db, tree)
         telemetry = None
         data_plane = None
         if executor is not None:
@@ -143,10 +169,11 @@ class YannakakisJoin:
                                          num_workers=cluster.num_workers)
             bags, data_plane = self._materialize_parallel(
                 query, db, tree, executor, stats, telemetry,
-                cluster.num_workers)
+                cluster.num_workers, bag_kernels)
         else:
             bags = materialize_bags(query, db, tree, stats=stats,
-                                    budget=self.work_budget)
+                                    budget=self.work_budget,
+                                    bag_kernels=bag_kernels)
         input_tuples = sum(len(db[a.relation]) for a in query.atoms)
         ledger.charge_seconds(input_tuples / params.alpha_pull, "precompute")
         ledger.charge_seconds(
@@ -195,6 +222,8 @@ class YannakakisJoin:
             "semijoin_rounds": stats.semijoin_rounds,
             "join_intermediates": stats.join_intermediate_tuples,
         }
+        if bag_kernels:
+            extra["kernel_decisions"] = dict(sorted(bag_kernels.items()))
         if telemetry is not None:
             extra["telemetry"] = telemetry
         if data_plane is not None:

@@ -1,0 +1,121 @@
+"""String-keyed join-kernel registry: one source of truth for kernel names.
+
+Mirrors :mod:`repro.engines.registry` (and the transport registry): the
+CLI ``run --kernel`` choices, :class:`repro.api.RunConfig` validation and
+the worker task functions all resolve kernels here.
+
+A *kernel* is the physical join strategy that evaluates one localized
+subquery — a worker's HCube cube, a GHD bag, or an inline query — behind
+a single interface:
+
+>>> from repro.kernels import create_kernel
+>>> result = create_kernel("binary").execute(query, db, order)
+
+Built-ins: ``wcoj`` (vectorized Leapfrog triejoin), ``binary`` (fully
+vectorized left-deep hash joins) and ``adaptive`` (the default — scores
+the subquery with the catalog stats and picks one of the two; see
+docs/kernels.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.database import Database
+    from ..query.query import JoinQuery
+    from ..wcoj.cache import IntersectionCache
+    from ..wcoj.leapfrog import JoinResult, LeapfrogStats
+
+__all__ = ["JoinKernel", "KernelSpec", "register_kernel",
+           "available_kernels", "kernel_spec", "create_kernel",
+           "default_kernel", "KERNEL_ENV_VAR", "DEFAULT_KERNEL"]
+
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+DEFAULT_KERNEL = "adaptive"
+
+
+class JoinKernel(Protocol):
+    """The common interface every physical join kernel implements.
+
+    ``execute`` mirrors :func:`repro.wcoj.leapfrog.leapfrog_join`: it
+    evaluates ``query`` over ``db``, returns a
+    :class:`~repro.wcoj.leapfrog.JoinResult` whose ``stats`` is reset and
+    populated in place (pass a caller-owned ``stats`` to inspect partial
+    work after a :class:`~repro.errors.BudgetExceeded`), and materializes
+    the result relation (attributes = ``order``) only when asked.
+    Kernels without an intersection cache ignore ``cache``.
+    """
+
+    key: str
+
+    def execute(self, query: "JoinQuery", db: "Database",
+                order: Sequence[str] | None = None, *,
+                materialize: bool = False,
+                budget: int | None = None,
+                cache: "IntersectionCache | None" = None,
+                stats: "LeapfrogStats | None" = None) -> "JoinResult":
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registered kernel: key, zero-arg factory, one-line summary."""
+
+    key: str
+    factory: Callable[[], JoinKernel]
+    summary: str = ""
+
+
+_REGISTRY: dict[str, KernelSpec] = {}
+
+
+def register_kernel(key: str, factory: Callable[[], JoinKernel] | None = None,
+                    *, summary: str = ""):
+    """Register a kernel factory under ``key``.
+
+    Usable as a call (``register_kernel("wcoj", WcojKernel)``) or a
+    decorator (``@register_kernel("mykernel")``).  Re-registering an
+    existing key is an error.
+    """
+    def _add(f: Callable[[], JoinKernel]):
+        if key in _REGISTRY:
+            raise ConfigError(f"kernel {key!r} is already registered")
+        _REGISTRY[key] = KernelSpec(key=key, factory=f, summary=summary)
+        return f
+
+    if factory is None:
+        return _add
+    return _add(factory)
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Registered kernel keys, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def kernel_spec(key: str) -> KernelSpec:
+    """The :class:`KernelSpec` for ``key`` (raises ConfigError)."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel {key!r}; choose from {available_kernels()}"
+        ) from None
+
+
+def create_kernel(key: str) -> JoinKernel:
+    """Instantiate the kernel registered under ``key``."""
+    return kernel_spec(key).factory()
+
+
+def default_kernel() -> str:
+    """Kernel key, overridable through REPRO_KERNEL (validated here)."""
+    raw = os.environ.get(KERNEL_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_KERNEL
+    return kernel_spec(raw.strip()).key

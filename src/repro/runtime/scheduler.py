@@ -75,8 +75,8 @@ def iter_routed_tasks(routing: HCubeRouting, db: Database,
                       order: Sequence[str],
                       budget: int | None = None,
                       transport: Transport | None = None,
-                      cache_capacity: Callable[[int], int] | None = None
-                      ) -> Iterator[WorkerTask]:
+                      cache_capacity: Callable[[int], int] | None = None,
+                      kernel: str = "wcoj") -> Iterator[WorkerTask]:
     """Stream worker tasks: yield each task as soon as its refs exist.
 
     The pipelined-epoch task source.  Source relations are published
@@ -91,7 +91,9 @@ def iter_routed_tasks(routing: HCubeRouting, db: Database,
     (which is implemented on top of this generator).
 
     ``cache_capacity(worker_load)`` sizes an optional worker-local
-    intersection cache (HCubeJ+Cache).
+    intersection cache (HCubeJ+Cache).  ``kernel`` is the
+    :mod:`repro.kernels` key each task executes with — a plain string so
+    it survives spawned process pools and remote agents.
     """
     transport = transport or PickleTransport()
     grid = routing.grid
@@ -122,7 +124,8 @@ def iter_routed_tasks(routing: HCubeRouting, db: Database,
                 routing.worker_loads.get(worker, 0)))
         task = WorkerTask(worker=worker, query=local_query,
                           order=order, budget=budget,
-                          cache_capacity=capacity, trace=ctx)
+                          cache_capacity=capacity, trace=ctx,
+                          kernel=kernel)
         for cube in cubes_by_worker[worker]:
             task.cubes.append(tuple(
                 transport.make_ref(key_for(ai),
@@ -135,8 +138,8 @@ def build_routed_tasks(routing: HCubeRouting, db: Database,
                        order: Sequence[str],
                        budget: int | None = None,
                        transport: Transport | None = None,
-                       cache_capacity: Callable[[int], int] | None = None
-                       ) -> list[WorkerTask]:
+                       cache_capacity: Callable[[int], int] | None = None,
+                       kernel: str = "wcoj") -> list[WorkerTask]:
     """Worker tasks from routing assignments, payloads via ``transport``.
 
     Each source relation is published exactly once; tasks carry one
@@ -147,7 +150,8 @@ def build_routed_tasks(routing: HCubeRouting, db: Database,
     """
     return list(iter_routed_tasks(routing, db, order, budget=budget,
                                   transport=transport,
-                                  cache_capacity=cache_capacity))
+                                  cache_capacity=cache_capacity,
+                                  kernel=kernel))
 
 
 def absorb_result_observability(results: Sequence) -> None:

@@ -33,6 +33,8 @@ import numpy as np
 from ..data.database import Database
 from ..data.relation import Relation
 from ..errors import BudgetExceeded
+from ..kernels import create_kernel
+from ..kernels.binary import hash_join
 from ..obs.tracing import current_tracer, set_thread_tracer, task_tracer
 from ..query.query import JoinQuery
 from ..wcoj.cache import IntersectionCache
@@ -66,6 +68,8 @@ class WorkerTask:
     budget: int | None = None             # intersection-work cap (total)
     cache_capacity: int | None = None     # per-cube intersection cache
     trace: dict | None = None             # obs.tracing trace context
+    kernel: str = "wcoj"                  # repro.kernels key (plain str
+                                          # so it survives spawn/remote)
 
     @property
     def num_tuples(self) -> int:
@@ -144,25 +148,34 @@ def _execute_worker_task(task: WorkerTask) -> WorkerTaskResult:
                     raise BudgetExceeded(result.intersection_work,
                                          task.budget)
             cache = None
-            if task.cache_capacity is not None:
+            if task.kernel == "wcoj" and task.cache_capacity is not None:
                 cache = IntersectionCache(task.cache_capacity)
             t0 = time.perf_counter()
             # With a cache, leapfrog builds its own tries (mirrors the
             # inline cached path exactly, so hit/miss counts match).
-            if cache is not None:
-                tries = None
-            else:
+            # Non-wcoj kernels build no tries (and have no cache).
+            tries = None
+            if task.kernel == "wcoj" and cache is None:
                 with tracer.span("build_tries", cat="task",
                                  worker=task.worker):
                     tries = build_tries(task.query, db, task.order)
             t1 = time.perf_counter()
             stats = LeapfrogStats()
             try:
-                with tracer.span("leapfrog", cat="task",
-                                 worker=task.worker):
-                    join = leapfrog_join(task.query, db, task.order,
-                                         tries=tries, cache=cache,
-                                         budget=remaining, stats=stats)
+                if task.kernel == "wcoj":
+                    with tracer.span("leapfrog", cat="task",
+                                     worker=task.worker):
+                        join = leapfrog_join(task.query, db, task.order,
+                                             tries=tries, cache=cache,
+                                             budget=remaining,
+                                             stats=stats)
+                else:
+                    with tracer.span("kernel", cat="task",
+                                     worker=task.worker,
+                                     kernel=task.kernel):
+                        join = create_kernel(task.kernel).execute(
+                            task.query, db, task.order,
+                            budget=remaining, stats=stats)
             finally:
                 # Partial work still counts toward the budget on failure.
                 result.intersection_work += stats.intersection_work
@@ -210,6 +223,7 @@ class BagTask:
     arrays: tuple = ()
     budget: int | None = None
     trace: dict | None = None             # obs.tracing trace context
+    kernel: str = "wcoj"                  # repro.kernels key for this bag
 
 
 @dataclass
@@ -259,10 +273,17 @@ def _materialize_bag_task(task: BagTask) -> BagTaskResult:
                     atom.relation, atom.attributes,
                     resolve_array_ref(ref), dedup=False)
         db = Database(relations.values())
-        with current_tracer().span("leapfrog", cat="task",
-                                   bag=task.index):
-            res = leapfrog_join(task.query, db, order=task.order,
-                                materialize=True, budget=task.budget)
+        if task.kernel == "wcoj":
+            with current_tracer().span("leapfrog", cat="task",
+                                       bag=task.index):
+                res = leapfrog_join(task.query, db, order=task.order,
+                                    materialize=True, budget=task.budget)
+        else:
+            with current_tracer().span("kernel", cat="task",
+                                       bag=task.index, kernel=task.kernel):
+                res = create_kernel(task.kernel).execute(
+                    task.query, db, task.order, materialize=True,
+                    budget=task.budget)
         result.data = res.relation.data
         result.work = res.stats.intersection_work
     except BudgetExceeded as exc:
@@ -305,7 +326,7 @@ def join_partition_pair_task(task: PartitionJoinTask) -> Relation:
                     resolve_array_ref(task.left), dedup=False)
     right = Relation(task.right_name, task.right_attrs,
                      resolve_array_ref(task.right), dedup=False)
-    return left.natural_join(right)
+    return hash_join(left, right)
 
 
 def join_partition_task(pair: tuple[Relation, Relation]) -> Relation:
@@ -315,4 +336,4 @@ def join_partition_task(pair: tuple[Relation, Relation]) -> Relation:
     callers that already hold materialized partitions.
     """
     left, right = pair
-    return left.natural_join(right)
+    return hash_join(left, right)

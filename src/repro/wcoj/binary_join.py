@@ -19,7 +19,8 @@ from ..errors import BudgetExceeded, PlanError
 from ..query.query import JoinQuery
 
 __all__ = ["BinaryPlan", "BinaryJoinStats", "greedy_left_deep_plan",
-           "execute_binary_plan", "binary_plan_join"]
+           "greedy_plan_with_estimates", "execute_binary_plan",
+           "binary_plan_join"]
 
 
 @dataclass(frozen=True)
@@ -56,17 +57,22 @@ def _estimate_join_size(left_size: int, left_attrs: set[str],
     common = [a for a in atom_attrs if a in left_attrs]
     est = float(left_size) * float(len(rel))
     for attr in common:
-        distinct = max(1, int(np.unique(rel.column(attr)).shape[0]))
-        est /= distinct
+        est /= max(1, rel.distinct_count(attr))
     return est
 
 
-def greedy_left_deep_plan(query: JoinQuery, db: Database) -> BinaryPlan:
-    """Pick a left-deep atom order: start from the smallest relation, then
-    repeatedly add the connected atom with the smallest estimated join."""
+def greedy_plan_with_estimates(query: JoinQuery, db: Database
+                               ) -> tuple[BinaryPlan, list[float]]:
+    """Greedy left-deep plan plus the estimated size of each intermediate.
+
+    The estimates (one per join step, i.e. ``len(atoms) - 1`` entries)
+    are what the adaptive kernel chooser compares against the input
+    sizes to predict binary-join blowup.
+    """
     sizes = [len(db[a.relation]) for a in query.atoms]
     start = int(np.argmin(sizes))
     chosen = [start]
+    estimates: list[float] = []
     bound_attrs = set(query.atoms[start].attributes)
     current_size = sizes[start]
     remaining = set(range(query.num_atoms)) - {start}
@@ -84,10 +90,18 @@ def greedy_left_deep_plan(query: JoinQuery, db: Database) -> BinaryPlan:
             if best_est is None or est < best_est:
                 best, best_est = i, est
         chosen.append(best)
+        estimates.append(float(best_est))
         remaining.discard(best)
         bound_attrs |= set(query.atoms[best].attributes)
         current_size = max(1, int(best_est))
-    return BinaryPlan(tuple(chosen))
+    return BinaryPlan(tuple(chosen)), estimates
+
+
+def greedy_left_deep_plan(query: JoinQuery, db: Database) -> BinaryPlan:
+    """Pick a left-deep atom order: start from the smallest relation, then
+    repeatedly add the connected atom with the smallest estimated join."""
+    plan, _ = greedy_plan_with_estimates(query, db)
+    return plan
 
 
 def execute_binary_plan(query: JoinQuery, db: Database, plan: BinaryPlan,

@@ -211,6 +211,103 @@ def leapfrog_join(query: JoinQuery, db: Database,
     count = 0
     prefix: list[int] = [0] * n
 
+    # The deepest two levels are batched: one numpy pass replaces the
+    # per-binding Python recursion into ``expand(n - 1)``.  Disabled
+    # whenever a feature needs the per-binding structure (budget checks
+    # between bindings, the intersection cache's per-node keys, emit
+    # callbacks, or a fixed value at the last attribute).  Counters stay
+    # bit-identical to the recursive path.
+    batch_leaf = (n >= 2 and budget is None and cache is None
+                  and emit is None and order[n - 1] not in fixed)
+    prev_pos = ({ai: p for p, (ai, _) in enumerate(participants[n - 2])}
+                if n >= 2 else {})
+
+    def expand_leaf_batch(vals: np.ndarray, resolved: list) -> bool:
+        """Evaluate the last level for every binding of level ``n - 2``.
+
+        ``vals``/``resolved`` are the candidates of level ``n - 2``.  Per
+        last-level participant the candidate values of *all* ``k``
+        bindings are gathered in one shot (the trie's last local column
+        is sorted and distinct inside each child range), the k
+        intersections run as one sorted-set intersection over
+        ``binding_index * width + value`` keys, and the result chunk is
+        written column-wise.  Returns False when the value range would
+        overflow the int64 key encoding — the caller falls back to the
+        recursive path.
+        """
+        nonlocal count
+        k = int(vals.shape[0])
+        parts = participants[n - 1]
+        pairs: list[tuple[np.ndarray, np.ndarray]] = []  # (seg, values)
+        work_total = 0
+        vmin = vmax = 0
+        for ai, ldepth in parts:
+            col = tries[ai]._columns[ldepth]
+            p = prev_pos.get(ai)
+            if p is not None:
+                # Varying trie: one child range per binding.
+                starts, ends = resolved[p]
+                lengths = ends - starts
+                total = int(lengths.sum())
+                seg = np.repeat(np.arange(k, dtype=np.int64), lengths)
+                offsets = np.concatenate(
+                    ([0], np.cumsum(lengths)[:-1])).astype(np.int64)
+                pos = (np.arange(total, dtype=np.int64)
+                       - np.repeat(offsets, lengths)
+                       + np.repeat(starts, lengths))
+                values = col[pos]
+            else:
+                # Constant trie: its range did not move at level n - 2.
+                lo, hi = ranges[ai]
+                block = col[lo:hi]
+                total = int(block.shape[0]) * k
+                seg = np.repeat(np.arange(k, dtype=np.int64),
+                                block.shape[0])
+                values = np.tile(block, k)
+            work_total += total
+            lo_v, hi_v = int(values.min()), int(values.max())
+            if not pairs:
+                vmin, vmax = lo_v, hi_v
+            else:
+                vmin, vmax = min(vmin, lo_v), max(vmax, hi_v)
+            pairs.append((seg, values))
+        width = vmax - vmin + 1
+        if len(pairs) > 1 and k * width >= 2 ** 62:
+            return False
+        stats.extensions += k
+        stats.level_extensions[n - 1] += k
+        stats.intersection_work += work_total
+        stats.level_work[n - 1] += work_total
+        if len(pairs) == 1:
+            out_seg, out_val = pairs[0]
+        else:
+            # Keys are sorted (binding-major, values ascending inside a
+            # binding), so the standard smallest-first searchsorted
+            # intersection applies; work was accounted above.
+            keys = sorted((seg * width + (values - np.int64(vmin))
+                           for seg, values in pairs), key=len)
+            result = keys[0]
+            for other in keys[1:]:
+                if result.shape[0] == 0:
+                    break
+                idx = np.searchsorted(other, result)
+                idx[idx == other.shape[0]] = other.shape[0] - 1
+                result = result[other[idx] == result]
+            out_seg = result // width
+            out_val = result % width + vmin
+        t = int(out_val.shape[0])
+        stats.level_tuples[n - 1] += t
+        count += t
+        stats.emitted += t
+        if materialize and t:
+            chunk = np.empty((t, n), dtype=np.int64)
+            for j in range(n - 2):
+                chunk[:, j] = prefix[j]
+            chunk[:, n - 2] = vals[out_seg]
+            chunk[:, n - 1] = out_val
+            out_chunks.append(chunk)
+        return True
+
     def candidates_at(d: int) -> tuple[np.ndarray, list]:
         """Intersected values at depth d plus per-participant child spans."""
         parts = participants[d]
@@ -279,6 +376,8 @@ def leapfrog_join(query: JoinQuery, db: Database,
                     chunk[:, j] = prefix[j]
                 chunk[:, d] = vals
                 out_chunks.append(chunk)
+            return
+        if batch_leaf and d == n - 2 and expand_leaf_batch(vals, resolved):
             return
         parts = participants[d]
         saved = [ranges[ai] for ai, _ in parts]
