@@ -76,7 +76,8 @@ from repro.kernels import available_kernels
 from repro.obs.tracing import NOOP_TRACER, Tracer, use_tracer, \
     write_chrome_trace
 from repro.query import paper_query
-from repro.runtime import available_parallelism, create_executor
+from repro.runtime import available_parallelism, available_transports, \
+    create_executor
 
 SKEW_EDGES = int(float(os.environ.get("REPRO_BENCH_SKEW_EDGES", "12000")))
 KERNEL_EDGES = int(float(os.environ.get("REPRO_BENCH_KERNEL_EDGES",
@@ -87,7 +88,7 @@ WORKER_SWEEP = tuple(
     int(w) for w in
     os.environ.get("REPRO_BENCH_RUNTIME_WORKERS", "1,2,4").split(","))
 BACKENDS = ("serial", "threads", "processes")
-TRANSPORT_SWEEP = ("pickle", "shm", "tcp")
+TRANSPORT_SWEEP = available_transports()
 PIPELINE_SWEEP = (False, True)
 #: Optional running worker agents for a remote-backend leg.
 REMOTE_HOSTS = os.environ.get("REPRO_BENCH_HOSTS") or None

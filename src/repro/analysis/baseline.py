@@ -1,0 +1,114 @@
+"""Baseline file: grandfathered findings, each with a written reason.
+
+The baseline lets the lint gate be adopted on a codebase with existing
+findings without drowning the signal: known findings are recorded once
+(with a justification) and only *new* findings fail the run.  An entry
+without a reason is rejected at load time — a silent baseline entry is
+exactly the un-auditable suppression this engine exists to prevent.
+
+Format (``lint-baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "lazy-net", "path": "src/repro/foo.py",
+         "fingerprint": "ab12...", "reason": "why this stays"}
+      ]
+    }
+
+Fingerprints come from :attr:`repro.analysis.findings.Finding
+.fingerprint` and ignore line numbers, so unrelated edits do not
+invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError
+from .findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered findings keyed by (rule, path, fingerprint)."""
+
+    path: Path | None = None
+    entries: dict[tuple[str, str, str], str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def covers(self, finding: Finding) -> bool:
+        key = (finding.rule, finding.path, finding.fingerprint)
+        return key in self.entries
+
+    def filter(self, findings: Iterable[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline."""
+        return [f for f in findings if not self.covers(f)]
+
+
+def load_baseline(path: "Path | str") -> Baseline:
+    """Parse a baseline file; every entry must carry a reason."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigError(f"baseline file {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline file {path} is not valid JSON: "
+                          f"{exc}") from None
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ConfigError(f"baseline file {path} must be a JSON object "
+                          f"with \"version\": {_VERSION}")
+    baseline = Baseline(path=path)
+    for i, entry in enumerate(data.get("findings", [])):
+        try:
+            rule = entry["rule"]
+            rel = entry["path"]
+            fingerprint = entry["fingerprint"]
+            reason = str(entry.get("reason", "")).strip()
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(
+                f"baseline entry #{i} in {path} is missing {exc}"
+            ) from None
+        if not reason:
+            raise ConfigError(
+                f"baseline entry #{i} ({rule} in {rel}) in {path} has "
+                f"no reason; every grandfathered finding must say why "
+                f"it is kept")
+        baseline.entries[(rule, rel, fingerprint)] = reason
+    return baseline
+
+
+def write_baseline(path: "Path | str", findings: Sequence[Finding],
+                   reason: str) -> Baseline:
+    """Write ``findings`` as a baseline, all sharing one ``reason``.
+
+    The programmatic counterpart of hand-editing the JSON — used by
+    tooling that adopts the gate on an existing tree.  ``reason`` must
+    be non-empty for the same reason load rejects empty ones.
+    """
+    reason = reason.strip()
+    if not reason:
+        raise ConfigError("a baseline needs a non-empty reason")
+    path = Path(path)
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": f.rule, "path": f.path,
+             "fingerprint": f.fingerprint, "reason": reason,
+             "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return load_baseline(path)

@@ -1,0 +1,128 @@
+"""env-registry: every ``REPRO_*`` environment read is declared.
+
+``RunConfig`` is the single front door for configuration; its
+``ENV_CATALOG`` (repro.api.config) declares every environment variable
+the stack honours, and docs/api.md documents them.  An env read that
+bypasses the catalog is configuration the user cannot discover — it
+works on the author's machine and silently defaults everywhere else.
+
+Two patterns count as a read of a literal name:
+
+- direct reads: ``os.environ.get("REPRO_X")``, ``os.environ["REPRO_X"]``,
+  ``os.getenv("REPRO_X")``;
+- the repo's declaration idiom: a module-level ``FOO_ENV_VAR =
+  "REPRO_X"`` constant (the actual read then goes through the name).
+
+Each literal must appear in ``ENV_CATALOG`` and — when the lint root
+has a ``docs/api.md`` — in that file's env-var table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..base import Checker, ModuleContext
+from ..findings import Finding
+from ..registry import register_checker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import LintConfig
+
+RULE = "env-registry"
+
+_PREFIX = "REPRO_"
+
+#: Benchmark-harness knobs (REPRO_BENCH_*) configure the measurement
+#: scripts under benchmarks/, not the library; they are documented in
+#: benchmarks/common.py and deliberately not part of RunConfig's
+#: catalog.
+_EXEMPT_PREFIX = "REPRO_BENCH_"
+
+_HINT = ("declare the variable in ENV_CATALOG (repro.api.config) and "
+         "document it in docs/api.md so RunConfig stays the single "
+         "front door for configuration")
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted name of an expression ("os.environ", ...)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+def _literal_env_name(node: ast.expr) -> "str | None":
+    if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+            and node.value.startswith(_PREFIX):
+        return node.value
+    return None
+
+
+def _env_reads(tree: ast.Module) -> Iterator[tuple[ast.AST, str, str]]:
+    """Yield (node, env_name, how) for every literal REPRO_* read."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = _dotted(node.func)
+            is_get = func.endswith("environ.get") or \
+                func in ("os.getenv", "getenv")
+            if is_get and node.args:
+                name = _literal_env_name(node.args[0])
+                if name:
+                    yield node, name, f"{func}(...)"
+        elif isinstance(node, ast.Subscript):
+            if _dotted(node.value).endswith("environ"):
+                name = _literal_env_name(node.slice)
+                if name:
+                    yield node, name, "os.environ[...]"
+
+
+def _env_var_constants(tree: ast.Module
+                       ) -> Iterator[tuple[ast.AST, str, str]]:
+    """Module-level ``FOO_ENV_VAR = "REPRO_X"`` declarations."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        name = _literal_env_name(node.value)
+        if name is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and \
+                    target.id.endswith("_ENV_VAR"):
+                yield node, name, f"{target.id} constant"
+
+
+class EnvRegistryChecker(Checker):
+    rule = RULE
+    summary = ("every REPRO_* env read is declared in ENV_CATALOG and "
+               "documented in docs/api.md")
+
+    def check(self, ctx: ModuleContext,
+              config: "LintConfig") -> Iterable[Finding]:
+        catalog = config.env_catalog()
+        documented = config.documented_env_vars()
+        # The catalog module itself declares names as literals; its own
+        # reads are still checked, only the declaration list is not.
+        declares_catalog = ctx.module == "repro.api.config"
+        sites = list(_env_reads(ctx.tree))
+        if not declares_catalog:
+            sites += list(_env_var_constants(ctx.tree))
+        for node, name, how in sites:
+            if name.startswith(_EXEMPT_PREFIX):
+                continue
+            if name not in catalog:
+                yield ctx.finding(
+                    node, self.rule,
+                    f"{how} reads {name!r} which is not declared in "
+                    f"ENV_CATALOG", hint=_HINT)
+            elif documented is not None and name not in documented:
+                yield ctx.finding(
+                    node, self.rule,
+                    f"{name!r} is declared but not documented in "
+                    f"docs/api.md", hint=_HINT)
+
+
+register_checker(RULE, EnvRegistryChecker,
+                 summary=EnvRegistryChecker.summary)

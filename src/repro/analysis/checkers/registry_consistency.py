@@ -1,0 +1,176 @@
+"""registry-consistency: registries are the single source of truth.
+
+The stack names everything through string-keyed registries — engines,
+kernels, transports, and now lint checkers.  Two ways that discipline
+rots:
+
+- **dynamic keys**: ``register(some_variable, ...)`` makes the lineup
+  undiscoverable by reading the code (and by this linter);
+- **shadow lineups**: a hand-written ``("yannakakis", "sparksql", ...)``
+  tuple that mirrors a registry drifts the moment someone registers a
+  new entry — the CLI/benchmarks silently stop covering it.
+
+The checker flags non-literal registration keys, duplicate literal keys
+within a file, and module-level list/tuple literals whose elements are
+all keys of one live registry (the registry's own package is exempt —
+someone has to write the built-in lineup down once).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..base import Checker, ModuleContext
+from ..findings import Finding
+from ..registry import register_checker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import LintConfig
+
+RULE = "registry-consistency"
+
+#: registration function name -> registry it feeds.
+_REGISTER_FUNCS = {
+    "register": "engines",
+    "register_engine": "engines",
+    "register_kernel": "kernels",
+    "register_transport": "transports",
+    "register_checker": "checkers",
+}
+
+#: Packages allowed to spell a registry's keys out literally: the
+#: package that defines the registry and registers the built-ins.
+_HOME_PACKAGES = {
+    "engines": ("repro.engines",),
+    "kernels": ("repro.kernels",),
+    "transports": ("repro.runtime", "repro.net"),
+}
+
+_KEY_HINT = ("registries are greppable contracts; use a string literal "
+             "so the lineup can be read (and linted) statically")
+_LINEUP_HINT = ("derive the list from the registry (e.g. "
+                "available()/available_kernels()/available_transports()) "
+                "instead of spelling the keys out again")
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _registration_key(node: ast.Call) -> "ast.expr | None":
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg in ("key", "name", "rule"):
+            return kw.value
+    return None
+
+
+def _module_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` bindings (the ``RULE = ...``
+    idiom counts as a static key)."""
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = node.value.value
+    return constants
+
+
+def _string_elements(node: ast.expr) -> "list[str] | None":
+    """Elements of a list/tuple literal if they are all strings."""
+    if not isinstance(node, (ast.List, ast.Tuple)) or not node.elts:
+        return None
+    values: list[str] = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            values.append(elt.value)
+        else:
+            return None
+    return values
+
+
+class RegistryConsistencyChecker(Checker):
+    rule = RULE
+    summary = ("registration keys are static literals, registered once; "
+               "no hand-rolled copies of registry lineups")
+
+    def check(self, ctx: ModuleContext,
+              config: "LintConfig") -> Iterable[Finding]:
+        yield from self._check_registrations(ctx)
+        yield from self._check_lineups(ctx, config)
+
+    def _check_registrations(self,
+                             ctx: ModuleContext) -> Iterator[Finding]:
+        seen: dict[tuple[str, str], int] = {}
+        constants = _module_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            registry = _REGISTER_FUNCS.get(name)
+            if registry is None:
+                continue
+            key = _registration_key(node)
+            if key is None:
+                continue
+            if isinstance(key, ast.Constant) and \
+                    isinstance(key.value, str):
+                value = key.value
+            elif isinstance(key, ast.Name) and key.id in constants:
+                value = constants[key.id]
+            else:
+                yield ctx.finding(
+                    node, self.rule,
+                    f"{name}() called with a non-literal key; registry "
+                    f"keys must be static string literals",
+                    hint=_KEY_HINT)
+                continue
+            ident = (registry, value)
+            if ident in seen:
+                yield ctx.finding(
+                    node, self.rule,
+                    f"{name}() registers {value!r} again (first "
+                    f"registration at line {seen[ident]}); one key, "
+                    f"one registration", hint=_KEY_HINT)
+            else:
+                seen[ident] = node.lineno
+
+    def _check_lineups(self, ctx: ModuleContext,
+                       config: "LintConfig") -> Iterator[Finding]:
+        registries = config.registry_keys()
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            values = _string_elements(node.value)
+            if values is None or len(values) < 2:
+                continue
+            for kind, keys in registries.items():
+                if not keys or not set(values) <= keys:
+                    continue
+                homes = _HOME_PACKAGES.get(kind, ())
+                if any(ctx.module == h or ctx.module.startswith(h + ".")
+                       for h in homes):
+                    continue
+                target = node.targets[0]
+                label = target.id if isinstance(target, ast.Name) \
+                    else "this literal"
+                yield ctx.finding(
+                    node, self.rule,
+                    f"{label} hand-rolls {len(values)} keys of the "
+                    f"{kind} registry; it will drift when the registry "
+                    f"grows", hint=_LINEUP_HINT)
+                break
+
+
+register_checker(RULE, RegistryConsistencyChecker,
+                 summary=RegistryConsistencyChecker.summary)

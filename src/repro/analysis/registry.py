@@ -1,0 +1,71 @@
+"""String-keyed checker registry, mirroring :mod:`repro.engines.registry`.
+
+The CLI ``--rules`` choices, the suppression validator and the engine's
+default checker lineup all resolve here; a new checker registered with
+:func:`register_checker` immediately shows up in all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigError
+from .base import Checker
+
+__all__ = ["CheckerSpec", "register_checker", "available_checkers",
+           "checker_spec", "create_checker"]
+
+
+@dataclass(frozen=True)
+class CheckerSpec:
+    """One registered checker: rule id, factory, one-line summary."""
+
+    rule: str
+    factory: Callable[[], Checker]
+    summary: str = ""
+
+
+_REGISTRY: dict[str, CheckerSpec] = {}
+
+
+def register_checker(rule: str,
+                     factory: Callable[[], Checker] | None = None, *,
+                     summary: str = ""):
+    """Register a checker factory under ``rule``.
+
+    Usable as a call (``register_checker("lazy-net", LazyNetChecker)``)
+    or a decorator (``@register_checker("my-rule")``).  Re-registering
+    an existing rule is a :class:`~repro.errors.ConfigError`, exactly
+    like the engine/kernel/transport registries.
+    """
+    def _add(f: Callable[[], Checker]):
+        if rule in _REGISTRY:
+            raise ConfigError(f"checker {rule!r} is already registered")
+        _REGISTRY[rule] = CheckerSpec(rule=rule, factory=f,
+                                      summary=summary)
+        return f
+
+    if factory is None:
+        return _add
+    return _add(factory)
+
+
+def available_checkers() -> tuple[str, ...]:
+    """Registered rule ids, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def checker_spec(rule: str) -> CheckerSpec:
+    """The :class:`CheckerSpec` for ``rule`` (raises ConfigError)."""
+    try:
+        return _REGISTRY[rule]
+    except KeyError:
+        raise ConfigError(
+            f"unknown lint rule {rule!r}; "
+            f"choose from {available_checkers()}") from None
+
+
+def create_checker(rule: str) -> Checker:
+    """Instantiate the checker registered under ``rule``."""
+    return checker_spec(rule).factory()

@@ -1,0 +1,99 @@
+"""Inline suppressions: ``# repro: lint-ignore[RULE] reason``.
+
+A suppression *must* carry a reason — the whole point of the syntax is
+that every intentionally-kept violation documents why it is safe, right
+where the next reader will look.  A reason-less (or unknown-rule)
+suppression is itself a finding under the reserved ``lint-ignore`` rule,
+and that finding cannot be suppressed.
+
+Placement: an inline suppression covers findings on its own line; a
+comment that stands alone on a line covers the next source line
+(matching how such comments read).  Several rules may share one
+comment: ``# repro: lint-ignore[spawn-safety, lock-discipline] reason``.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["SUPPRESSION_RULE", "Suppressions", "parse_suppressions"]
+
+#: Reserved rule id for malformed suppressions (never suppressible).
+SUPPRESSION_RULE = "lint-ignore"
+
+_COMMENT_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$")
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression comments of one module."""
+
+    #: line (1-based) -> set of suppressed rule ids on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: Malformed suppressions, reported as ``lint-ignore`` findings.
+    bad: list[Finding] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.by_line.get(line)
+        return bool(rules) and rule in rules
+
+
+def parse_suppressions(path: str, source: str,
+                       known_rules: Iterable[str]) -> Suppressions:
+    """Extract every suppression comment of ``source``.
+
+    ``known_rules`` is the set of registered checker rule ids; naming an
+    unregistered rule is malformed (it would silently suppress nothing —
+    almost always a typo).
+    """
+    known = set(known_rules)
+    lines = source.splitlines()
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return result   # the parse-error finding covers this file
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _COMMENT_RE.search(tok.string)
+        if match is None:
+            continue
+        line, col = tok.start
+        rules = {r.strip() for r in match.group("rules").split(",")
+                 if r.strip()}
+        reason = match.group("reason").strip()
+        unknown = sorted(r for r in rules if r not in known)
+        if not rules:
+            result.bad.append(Finding(
+                path=path, line=line, col=col, rule=SUPPRESSION_RULE,
+                message="lint-ignore names no rule",
+                hint="write '# repro: lint-ignore[RULE] reason'"))
+            continue
+        if unknown:
+            result.bad.append(Finding(
+                path=path, line=line, col=col, rule=SUPPRESSION_RULE,
+                message=f"lint-ignore names unknown rule(s) "
+                        f"{', '.join(unknown)}",
+                hint="run 'repro lint --list-rules' for the catalog"))
+            continue
+        if not reason:
+            result.bad.append(Finding(
+                path=path, line=line, col=col, rule=SUPPRESSION_RULE,
+                message=f"lint-ignore[{', '.join(sorted(rules))}] "
+                        f"carries no reason",
+                hint="a suppression must say why the violation is safe"))
+            continue
+        # A comment alone on its line covers the next line; an inline
+        # comment covers its own line.
+        prefix = lines[line - 1][:col] if line - 1 < len(lines) else ""
+        target = line + 1 if not prefix.strip() else line
+        result.by_line.setdefault(target, set()).update(rules)
+    return result

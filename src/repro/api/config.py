@@ -31,6 +31,16 @@ Environment variables::
     REPRO_TRACE        Chrome-trace output path       (default None)
     REPRO_LOG          log level for the repro.* loggers
                                                       (default warning)
+    REPRO_BIND_HOST    address block stores bind      (default 127.0.0.1)
+    REPRO_ADVERTISE_HOST  address advertised to peers for block fetches
+                                                      (default: bind host)
+    REPRO_NET_CACHE_BYTES remote block-fetch cache budget in bytes
+                                                      (default 256 MiB)
+
+:data:`ENV_CATALOG` is the machine-readable registry of these names;
+the ``env-registry`` lint rule (docs/static_analysis.md) rejects any
+``REPRO_*`` read that is not declared here and documented in
+docs/api.md.
 """
 
 from __future__ import annotations
@@ -47,7 +57,7 @@ from ..obs.log import LOG_ENV_VAR, resolve_level
 from ..obs.tracing import TRACE_ENV_VAR
 from ..runtime.executor import PIPELINE_ENV_VAR, default_pipeline
 
-__all__ = ["RunConfig", "EngineOptions", "default_backend",
+__all__ = ["RunConfig", "EngineOptions", "ENV_CATALOG", "default_backend",
            "default_hosts", "default_kernel", "default_log_level",
            "default_pipeline", "default_samples", "default_seed",
            "default_trace_path", "KERNEL_ENV_VAR", "LOG_ENV_VAR",
@@ -55,6 +65,28 @@ __all__ = ["RunConfig", "EngineOptions", "default_backend",
 
 
 HOSTS_ENV_VAR = "REPRO_HOSTS"
+
+#: Every environment variable the stack honours, in one place.  New
+#: REPRO_* knobs must be added here (and to docs/api.md) before any
+#: code reads them — the env-registry lint rule enforces it.
+ENV_CATALOG: tuple[str, ...] = (
+    "REPRO_WORKERS",
+    "REPRO_BACKEND",
+    "REPRO_TRANSPORT",
+    "REPRO_HOSTS",
+    "REPRO_SAMPLES",
+    "REPRO_SEED",
+    "REPRO_SCALE",
+    "REPRO_WORK_BUDGET",
+    "REPRO_KERNEL",
+    "REPRO_MEMORY_TUPLES",
+    "REPRO_PIPELINE",
+    "REPRO_TRACE",
+    "REPRO_LOG",
+    "REPRO_BIND_HOST",
+    "REPRO_ADVERTISE_HOST",
+    "REPRO_NET_CACHE_BYTES",
+)
 
 
 def default_hosts() -> tuple[str, ...] | None:

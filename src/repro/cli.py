@@ -8,6 +8,7 @@ Examples::
     python -m repro run wb Q1 --engine all
     python -m repro plan lj Q5 --samples 100
     python -m repro estimate lj Q4 --samples 500 --check
+    python -m repro lint --list-rules   # the domain lint engine
 
     # multi-machine: stand up worker agents, then drive them
     python -m repro serve --port 7070          # on each worker host
@@ -199,6 +200,58 @@ def _serve_wait(agent, max_seconds: float | None) -> None:
         time.sleep(0.2)
 
 
+def _cmd_lint(args) -> int:
+    """Run the domain lint engine (docs/static_analysis.md)."""
+    import json as _json
+    from pathlib import Path
+
+    # Imported lazily like the net subsystem: most CLI invocations
+    # never need the analysis package.
+    from .analysis import (DEFAULT_BASELINE_NAME, LintConfig,
+                           available_checkers, checker_spec, run)
+    from .errors import ConfigError
+
+    if args.list_rules:
+        for rule in available_checkers():
+            print(f"{rule:22} {checker_spec(rule).summary}")
+        return 0
+
+    root = Path(args.root)
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in (root / "src" / "repro", root / "benchmarks")
+                 if p.exists()] or [root]
+    baseline = args.baseline
+    if baseline is None:
+        default = root / DEFAULT_BASELINE_NAME
+        baseline = default if default.exists() else None
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()] \
+        if args.rules else None
+
+    try:
+        findings = run(paths, rules=rules, baseline=baseline,
+                       config=LintConfig(root=root))
+    except ConfigError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(_json.dumps({"version": 1, "count": len(findings),
+                           "findings": [f.as_dict() for f in findings]},
+                          indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+            if finding.hint:
+                print(f"    hint: {finding.hint}")
+        summary = "clean" if not findings else \
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+        print(f"lint: {summary} "
+              f"({len(available_checkers() if rules is None else rules)} "
+              f"rules)", file=sys.stderr)
+    return 1 if findings else 0
+
+
 def _cmd_plan(args) -> int:
     with _session_for(args) as session:
         explain = session.query(args.dataset, args.query).explain()
@@ -319,6 +372,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="level for the repro.* structured loggers "
                               "(default: $REPRO_LOG or warning)")
 
+    lint_p = sub.add_parser(
+        "lint", help="machine-check the stack's domain invariants "
+                     "(spawn safety, lazy net, lock discipline, ...)")
+    lint_p.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: "
+                             "src/repro and benchmarks under --root)")
+    lint_p.add_argument("--root", default=".",
+                        help="directory findings are reported relative "
+                             "to; docs/api.md and the default baseline "
+                             "are looked up here (default: .)")
+    lint_p.add_argument("--rules", default=None,
+                        help="comma-separated rule subset (default: all; "
+                             "see --list-rules)")
+    lint_p.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline JSON of grandfathered findings "
+                             "(default: <root>/lint-baseline.json when "
+                             "present)")
+    lint_p.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
     plan_p = sub.add_parser("plan", help="show the ADJ plan for a "
                                          "test-case")
     common(plan_p)
@@ -340,6 +415,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": _cmd_plan,
         "estimate": _cmd_estimate,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

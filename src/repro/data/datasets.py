@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigError
 from .relation import Relation
 
 __all__ = [
@@ -95,7 +96,7 @@ def default_scale() -> float:
         return _DEFAULT_SCALE
     value = float(raw)
     if value <= 0:
-        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {raw!r}")
+        raise ConfigError(f"{SCALE_ENV_VAR} must be positive, got {raw!r}")
     return value
 
 

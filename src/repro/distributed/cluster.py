@@ -66,7 +66,7 @@ class Cluster:
 
     def __post_init__(self):
         if self.num_workers < 1:
-            raise ValueError("a cluster needs at least one worker")
+            raise ConfigError("a cluster needs at least one worker")
         if self.runtime not in RUNTIME_BACKENDS:
             raise ConfigError(
                 f"unknown runtime {self.runtime!r}; "

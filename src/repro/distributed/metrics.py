@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ConfigError
+
 __all__ = ["CostModelParams", "ShuffleStats", "CostBreakdown", "CostLedger"]
 
 
@@ -58,7 +60,7 @@ class CostModelParams:
                     "pull": self.alpha_pull,
                     "merge": self.alpha_merge}[impl]
         except KeyError:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown HCube implementation {impl!r}; "
                 "expected push/pull/merge") from None
 
@@ -162,7 +164,7 @@ class CostLedger:
         elif phase == "optimization":
             self.optimization_seconds += seconds
         else:
-            raise ValueError(f"unknown phase {phase!r}")
+            raise ConfigError(f"unknown phase {phase!r}")
 
     def breakdown(self) -> CostBreakdown:
         return CostBreakdown(

@@ -13,6 +13,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..errors import ConfigError
+
 __all__ = ["SkewReport", "skew_report", "straggler_slowdown"]
 
 
@@ -51,7 +53,7 @@ def skew_report(loads: Mapping[int, float] | Sequence[float]) -> SkewReport:
     else:
         values = np.array(list(loads), dtype=float)
     if values.size == 0:
-        raise ValueError("need at least one worker load")
+        raise ConfigError("need at least one worker load")
     mean = float(values.mean())
     maximum = float(values.max())
     return SkewReport(

@@ -92,6 +92,7 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
         chunk = sock.recv(min(remaining, 1 << 20))
         if not chunk:
             if remaining == n:
+                # repro: lint-ignore[error-taxonomy] clean close at frame boundary is stream-end protocol, which is exactly what EOFError means
                 raise EOFError("connection closed")
             raise NetError(f"truncated frame: peer closed with "
                            f"{remaining} of {n} bytes missing")

@@ -22,6 +22,8 @@ import logging
 import os
 import time
 
+from ..errors import ConfigError
+
 __all__ = ["LOG_ENV_VAR", "get_logger", "kv", "configure_logging",
            "resolve_level", "KeyValueFormatter"]
 
@@ -74,7 +76,7 @@ def resolve_level(level: str | int | None) -> int:
         return level
     parsed = logging.getLevelName(str(level).strip().upper())
     if not isinstance(parsed, int):
-        raise ValueError(f"unknown log level: {level!r}")
+        raise ConfigError(f"unknown log level: {level!r}")
     return parsed
 
 

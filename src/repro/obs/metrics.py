@@ -39,6 +39,7 @@ class Counter:
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
+            # repro: lint-ignore[error-taxonomy] caller misuse of the Counter contract, not a stack rejection; stdlib ValueError is the idiom
             raise ValueError(f"counter {self.name}: negative increment")
         with self._lock:
             self._value += amount

@@ -166,7 +166,7 @@ def resolve_array_ref(ref) -> np.ndarray:
             # whole-array case.
             return arr[ref.rows] if ref.rows is not None else arr.copy()
     if ref.kind != "shm":
-        raise ValueError(f"unknown ArrayRef kind {ref.kind!r}")
+        raise ConfigError(f"unknown ArrayRef kind {ref.kind!r}")
     with current_tracer().span("resolve_ref", cat="transport",
                                kind="shm", block=ref.block,
                                rows=ref.num_rows):

@@ -15,6 +15,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..errors import ConfigError
+
 __all__ = ["IntersectionCache"]
 
 
@@ -23,7 +25,7 @@ class IntersectionCache:
 
     def __init__(self, capacity_values: int):
         if capacity_values < 0:
-            raise ValueError("capacity must be >= 0")
+            raise ConfigError("capacity must be >= 0")
         self.capacity_values = int(capacity_values)
         self._store: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._used_values = 0

@@ -9,6 +9,7 @@ one graph generation regardless of the query's atom count.
 from __future__ import annotations
 
 from ..data.database import Database
+from ..errors import ConfigError
 from ..data.datasets import load_dataset
 from ..data.relation import Relation
 from ..query.catalog import paper_query
@@ -24,7 +25,7 @@ def graph_database_for(query: JoinQuery, edges, attributes=("src", "dst")
     db = Database()
     for atom in query.atoms:
         if atom.arity != 2:
-            raise ValueError(
+            raise ConfigError(
                 f"graph test-cases need binary atoms, got {atom}")
         if atom.relation in db:
             continue  # two atoms may deliberately share a relation
