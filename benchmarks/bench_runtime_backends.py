@@ -41,12 +41,16 @@ worst pure kernel.
 
 Run:  PYTHONPATH=src python benchmarks/bench_runtime_backends.py
       [--json BENCH_runtime.json] [--kernels-json BENCH_kernels.json]
-      [--only-kernels] [--trace-dir traces/]
+      [--only-kernels] [--trace-dir traces/] [--profile-dir profiles/]
 
 ``--trace-dir`` additionally writes one Chrome trace-event JSON per
 (backend, transport, workers, pipeline) config — the pipelined overlap
 window is directly visible in Perfetto as worker-task spans crossing
-the coordinator's publish spans.
+the coordinator's publish spans.  ``--profile-dir`` runs an EXPLAIN
+ANALYZE pass over the two kernel workloads (threads backend, so the
+phases have measured wall-clock) and writes one ``profile_<name>.json``
+each plus a combined ``BENCH_profile.json`` — the per-phase
+modeled-vs-measured breakdown, machine-readable across PRs.
 Env:  REPRO_BENCH_SKEW_EDGES (default 12000),
       REPRO_BENCH_KERNEL_EDGES (default 30000),
       REPRO_BENCH_RUNTIME_WORKERS (default "1,2,4"),
@@ -174,6 +178,44 @@ def run_kernels():
     return records
 
 
+def run_profiles(profile_dir) -> list[dict]:
+    """EXPLAIN ANALYZE the two kernel workloads; write profile JSONs.
+
+    Goes through the real ``QueryJob.run(profile=True)`` path (scoped
+    metrics window, query ids, span slice) on the threads backend so
+    every phase row carries a measured wall-clock column.
+    """
+    from repro.api import JoinSession
+    from repro.api.job import QueryJob
+
+    workloads = [("Q7_path_uniform", *path_testcase()),
+                 ("Q1_triangle_skew", *skew_testcase())]
+    os.makedirs(profile_dir, exist_ok=True)
+    docs = []
+    with JoinSession(workers=2, backend="threads",
+                     transport="pickle") as session:
+        for name, query, db in workloads:
+            result = QueryJob(session, query, db).run(
+                "hcubej", profile=True)
+            assert result.ok, f"profile {name} failed: {result.failure}"
+            doc = result.profile.as_dict()
+            doc["workload"] = name
+            path = os.path.join(profile_dir, f"profile_{name}.json")
+            with open(path, "w") as fh:
+                json.dump(doc, fh, indent=2)
+            print(f"wrote {path}")
+            docs.append(doc)
+    combined = os.path.join(profile_dir, "BENCH_profile.json")
+    with open(combined, "w") as fh:
+        json.dump({"bench": "profile",
+                   "kernel_edges": KERNEL_EDGES,
+                   "skew_edges": SKEW_EDGES,
+                   "usable_cores": available_parallelism(),
+                   "profiles": docs}, fh, indent=2)
+    print(f"wrote {combined} ({len(docs)} profiles)")
+    return docs
+
+
 def _run_once(query, db, cluster, backend, transport, workers,
               pipeline, trace_dir=None) -> dict:
     kwargs = {"hosts": REMOTE_HOSTS} if backend == "remote" else {}
@@ -294,6 +336,10 @@ def main(argv=None) -> None:
                              "(backend, transport, workers, pipeline) "
                              "config into DIR — load in Perfetto to "
                              "see the pipelined overlap window")
+    parser.add_argument("--profile-dir", metavar="DIR", default=None,
+                        help="EXPLAIN ANALYZE the two kernel workloads "
+                             "and write profile_<name>.json plus a "
+                             "combined BENCH_profile.json into DIR")
     args = parser.parse_args(argv)
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
@@ -323,6 +369,8 @@ def main(argv=None) -> None:
         with open(args.kernels_json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.kernels_json} ({len(kernel_records)} records)")
+    if args.profile_dir:
+        run_profiles(args.profile_dir)
     if args.only_kernels:
         return
     records = run_backends(trace_dir=args.trace_dir)

@@ -28,6 +28,7 @@ Environment variables::
                                                       (default adaptive)
     REPRO_MEMORY_TUPLES per-worker memory budget      (default None)
     REPRO_PIPELINE     pipelined epochs: on | off     (default on)
+    REPRO_PROFILE      EXPLAIN ANALYZE profiles: on | off  (default off)
     REPRO_TRACE        Chrome-trace output path       (default None)
     REPRO_LOG          log level for the repro.* loggers
                                                       (default warning)
@@ -59,9 +60,10 @@ from ..runtime.executor import PIPELINE_ENV_VAR, default_pipeline
 
 __all__ = ["RunConfig", "EngineOptions", "ENV_CATALOG", "default_backend",
            "default_hosts", "default_kernel", "default_log_level",
-           "default_pipeline", "default_samples", "default_seed",
-           "default_trace_path", "KERNEL_ENV_VAR", "LOG_ENV_VAR",
-           "PIPELINE_ENV_VAR", "TRACE_ENV_VAR"]
+           "default_pipeline", "default_profile", "default_samples",
+           "default_seed", "default_trace_path", "KERNEL_ENV_VAR",
+           "LOG_ENV_VAR", "PIPELINE_ENV_VAR", "PROFILE_ENV_VAR",
+           "TRACE_ENV_VAR"]
 
 
 HOSTS_ENV_VAR = "REPRO_HOSTS"
@@ -81,6 +83,7 @@ ENV_CATALOG: tuple[str, ...] = (
     "REPRO_KERNEL",
     "REPRO_MEMORY_TUPLES",
     "REPRO_PIPELINE",
+    "REPRO_PROFILE",
     "REPRO_TRACE",
     "REPRO_LOG",
     "REPRO_BIND_HOST",
@@ -105,6 +108,7 @@ def default_hosts() -> tuple[str, ...] | None:
     return hosts or None
 
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+PROFILE_ENV_VAR = "REPRO_PROFILE"
 SAMPLES_ENV_VAR = "REPRO_SAMPLES"
 SEED_ENV_VAR = "REPRO_SEED"
 WORK_BUDGET_ENV_VAR = "REPRO_WORK_BUDGET"
@@ -150,6 +154,23 @@ def default_log_level() -> str | None:
     """Log level from REPRO_LOG (None defers to configure_logging)."""
     raw = os.environ.get(LOG_ENV_VAR)
     return raw.strip() or None if raw is not None else None
+
+
+_PROFILE_VALUES = {"on": True, "1": True, "true": True, "yes": True,
+                   "off": False, "0": False, "false": False, "no": False}
+
+
+def default_profile() -> bool:
+    """EXPLAIN ANALYZE default from ``REPRO_PROFILE`` (off unless set)."""
+    raw = os.environ.get(PROFILE_ENV_VAR)
+    if raw is None:
+        return False
+    value = _PROFILE_VALUES.get(raw.strip().lower())
+    if value is None:
+        raise ConfigError(
+            f"{PROFILE_ENV_VAR} must be one of "
+            f"{sorted(_PROFILE_VALUES)}, got {raw!r}")
+    return value
 
 
 def default_samples() -> int:
@@ -202,6 +223,12 @@ class RunConfig:
     #: restores the strict route -> publish -> execute barriers
     #: (the A/B baseline; results are count-identical either way).
     pipeline: bool = field(default_factory=default_pipeline)
+    #: EXPLAIN ANALYZE by default: every ``QueryJob.run`` assembles a
+    #: :class:`repro.obs.profile.QueryProfile` onto the result
+    #: (``REPRO_PROFILE``, default off — profiling records spans into a
+    #: run-local tracer, so the zero-overhead contract only holds when
+    #: this is off).  Per-call ``run(profile=...)`` wins over it.
+    profile: bool = field(default_factory=default_profile)
     #: Where to write the Chrome-trace JSON timeline of every run in
     #: the session; None disables tracing entirely — the hot paths see
     #: only the zero-cost noop tracer (REPRO_TRACE, docs/observability.md).

@@ -10,6 +10,7 @@ data-plane counters).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..core.optimizer import Optimizer, OptimizerReport
@@ -20,7 +21,9 @@ from ..engines.base import Engine, EngineOptions, EngineResult, \
     run_engine_safely
 from ..errors import ConfigError
 from ..ghd.decomposition import Hypertree, optimal_hypertree
-from ..obs.tracing import chrome_trace_events, use_tracer
+from ..obs.metrics import METRICS
+from ..obs.profile import build_profile
+from ..obs.tracing import Tracer, chrome_trace_events, use_tracer
 from ..query.query import JoinQuery
 
 __all__ = ["QueryJob", "ExplainReport", "ComparisonReport"]
@@ -206,46 +209,102 @@ class QueryJob:
 
     def run(self, engine: str | Engine = "adj",
             options: EngineOptions | None = None,
+            profile: bool | None = None,
             **overrides) -> EngineResult:
         """Run one engine (registry key or instance) on this job.
 
         Failures (OOM / budget / worker crash) come back as a failed
         :class:`EngineResult`, never as an exception — the session's
         executor stays owned and is torn down by ``session.close()``.
+
+        ``profile=True`` (default: ``RunConfig.profile`` /
+        ``REPRO_PROFILE``) assembles an EXPLAIN ANALYZE
+        :class:`~repro.obs.profile.QueryProfile` onto
+        ``result.profile``: spans are recorded into the session tracer
+        (or a run-local one when tracing is off) and the run executes
+        under a :meth:`~repro.obs.metrics.MetricsRegistry.scope`
+        labeled with its ``query_id``, so every span and metric of the
+        run — including those shipped home from pool children and
+        remote agents — carries per-query attribution.
         """
         obj = self._resolve(engine, options, **overrides)
         executor = self.session.executor()
         tracer = self.session.tracer()
-        if not tracer.enabled:
-            return run_engine_safely(obj, self.query, self.db,
-                                     self.session.cluster,
-                                     executor=executor)
-        # Install the session tracer for the run (thread-local wins in
-        # worker threads; the module-global makes routing/publish
-        # threads on this process visible too) and hand the run's own
-        # slice of the timeline back on the result.
-        mark = tracer.mark()
-        with use_tracer(tracer):
-            with tracer.span("engine_run", cat="engine",
-                             engine=getattr(obj, "name", str(engine)),
-                             query=self.query.name or "?",
-                             kernel=self.session.config.kernel):
-                result = run_engine_safely(obj, self.query, self.db,
-                                           self.session.cluster,
-                                           executor=executor)
+        if profile is None:
+            profile = self.session.config.profile
+        METRICS.counter("query.runs").inc()
+        if not tracer.enabled and not profile:
+            # The zero-overhead fast path: no tracer install, no scope,
+            # no Span objects anywhere (regression-tested).
+            start = time.perf_counter()
+            result = run_engine_safely(obj, self.query, self.db,
+                                       self.session.cluster,
+                                       executor=executor)
+            METRICS.histogram("query.seconds").observe(
+                time.perf_counter() - start)
+            if not result.ok:
+                METRICS.counter("query.failures").inc()
+            return result
+        # Install the run tracer (thread-local wins in worker threads;
+        # the module-global makes routing/publish threads on this
+        # process visible too) and hand the run's own slice of the
+        # timeline back on the result.  Profiled-but-untraced runs use
+        # a run-local tracer so the session trace file stays opt-in.
+        run_tracer = tracer if tracer.enabled else Tracer()
+        query_id = self.session.next_query_id(self.query.name)
+        scope = METRICS.scope(query_id) if profile else None
+        if profile:
+            METRICS.counter("query.profiled").inc()
+        mark = run_tracer.mark()
+        previous_query_id = run_tracer.query_id
+        run_tracer.query_id = query_id
+        start = time.perf_counter()
+        try:
+            with use_tracer(run_tracer):
+                with run_tracer.span(
+                        "engine_run", cat="engine",
+                        engine=getattr(obj, "name", str(engine)),
+                        query=self.query.name or "?",
+                        kernel=self.session.config.kernel):
+                    if scope is not None:
+                        with scope:
+                            result = run_engine_safely(
+                                obj, self.query, self.db,
+                                self.session.cluster, executor=executor)
+                    else:
+                        result = run_engine_safely(
+                            obj, self.query, self.db,
+                            self.session.cluster, executor=executor)
+        finally:
+            run_tracer.query_id = previous_query_id
+        METRICS.histogram("query.seconds").observe(
+            time.perf_counter() - start)
+        if not result.ok:
+            METRICS.counter("query.failures").inc()
+        spans = run_tracer.spans[mark:]
         result.extra["trace"] = {
-            "traceEvents": chrome_trace_events(tracer.spans[mark:]),
+            "traceEvents": chrome_trace_events(spans),
             "displayTimeUnit": "ms",
         }
+        if profile:
+            result.extra["profile"] = build_profile(
+                result, query_id=query_id,
+                backend=self.session.config.backend,
+                transport_label=self.session.transport_label,
+                spans=spans, metrics_window=scope.snapshot())
         return result
 
     def compare(self, engines=None, options: EngineOptions | None = None,
+                profile: bool | None = None,
                 **overrides) -> ComparisonReport:
         """Run several engines and cross-check their counts.
 
         ``engines`` defaults to every registered engine; entries may be
-        registry keys or engine instances.
+        registry keys or engine instances.  ``profile`` passes through
+        to each :meth:`run`, so every result carries its own
+        :class:`~repro.obs.profile.QueryProfile`.
         """
         names = self.session.engines() if engines is None else engines
         return ComparisonReport(results=tuple(
-            self.run(e, options, **overrides) for e in names))
+            self.run(e, options, profile=profile, **overrides)
+            for e in names))

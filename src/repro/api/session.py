@@ -25,12 +25,14 @@ Lifecycle guarantees:
 
 from __future__ import annotations
 
+import threading
+
 from ..data.database import Database
 from ..distributed.cluster import Cluster
 from ..engines import registry
 from ..errors import ConfigError
 from ..obs.log import configure_logging, get_logger, kv
-from ..obs.metrics import METRICS
+from ..obs.metrics import METRICS, snapshot_delta
 from ..obs.tracing import NOOP_TRACER, Tracer, write_chrome_trace
 from ..query.parser import parse_query
 from ..query.query import JoinQuery
@@ -59,6 +61,7 @@ class JoinSession:
                  kernel: str | None = None,
                  memory_tuples: float | None = None,
                  pipeline: bool | None = None,
+                 profile: bool | None = None,
                  trace_path: str | None = None,
                  log_level: str | None = None,
                  config: RunConfig | None = None,
@@ -85,7 +88,7 @@ class JoinSession:
             hosts=hosts, samples=samples, seed=seed, scale=scale,
             work_budget=work_budget, kernel=kernel,
             memory_tuples=memory_tuples,
-            pipeline=pipeline, trace_path=trace_path,
+            pipeline=pipeline, profile=profile, trace_path=trace_path,
             log_level=log_level)
         if cluster is not None:
             self.config = self.config.replace(
@@ -93,6 +96,8 @@ class JoinSession:
         self._cluster = cluster or self.config.make_cluster()
         self._executor: Executor | None = None
         self._tracer: Tracer | None = None
+        self._query_seq = 0
+        self._query_seq_lock = threading.Lock()
         self._closed = False
         if self.config.log_level is not None:
             configure_logging(self.config.log_level)
@@ -157,15 +162,41 @@ class JoinSession:
             self._tracer = Tracer()
         return self._tracer
 
-    def metrics(self) -> dict:
+    def metrics(self, delta_from: dict | None = None) -> dict:
         """Snapshot of the process-wide metrics registry.
 
         Counters are cumulative across runs and sessions (they live on
-        :data:`repro.obs.metrics.METRICS`); diff two snapshots for
-        per-run numbers.  ``transport.*`` totals agree with the summed
-        :attr:`EngineResult.data_plane` stats of the runs that fed them.
+        :data:`repro.obs.metrics.METRICS`).  For per-run numbers pass a
+        previous snapshot as ``delta_from`` — the supported windowing
+        path::
+
+            before = session.metrics()
+            job.run("adj")
+            window = session.metrics(delta_from=before)
+
+        which returns only what changed (counter differences; histogram
+        ``count/sum/mean`` over the window — see
+        :func:`repro.obs.metrics.snapshot_delta`).  ``transport.*``
+        totals agree with the summed :attr:`EngineResult.data_plane`
+        stats of the runs that fed them.  For exact windowed quantiles
+        and cross-process attribution, profile the run instead
+        (``job.run(profile=True)``).
         """
-        return METRICS.snapshot()
+        snapshot = METRICS.snapshot()
+        if delta_from is None:
+            return snapshot
+        return snapshot_delta(delta_from, snapshot)
+
+    def next_query_id(self, name: str | None = None) -> str:
+        """Mint the next per-session query id (``q0001:Q9``).
+
+        ``QueryJob.run`` calls this for profiled/traced runs; the id
+        tags every span and scoped metric of that run.
+        """
+        with self._query_seq_lock:
+            self._query_seq += 1
+            seq = self._query_seq
+        return f"q{seq:04d}:{name or '?'}"
 
     def write_trace(self, path: str | None = None) -> int:
         """Write the session's Chrome-trace JSON; returns the span count.

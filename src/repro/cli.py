@@ -8,12 +8,15 @@ Examples::
     python -m repro run wb Q1 --engine all
     python -m repro plan lj Q5 --samples 100
     python -m repro estimate lj Q4 --samples 500 --check
+    python -m repro profile lj Q9 --backend threads   # EXPLAIN ANALYZE
     python -m repro lint --list-rules   # the domain lint engine
 
     # multi-machine: stand up worker agents, then drive them
-    python -m repro serve --port 7070          # on each worker host
+    python -m repro serve --port 7070 --expo-port 9090  # each worker
     python -m repro run wb Q1 --backend remote \
         --hosts 127.0.0.1:7070,127.0.0.1:7071
+    python -m repro stat 127.0.0.1:7070        # one STAT snapshot
+    python -m repro top 127.0.0.1:7070,127.0.0.1:7071   # live monitor
 
 Every command goes through :class:`repro.api.JoinSession`, so the
 ``--engine`` choices come from :mod:`repro.engines.registry`, the
@@ -68,9 +71,20 @@ def _session_for(args) -> JoinSession:
         kernel=getattr(args, "kernel", None),
         pipeline=(None if pipeline_flag is None
                   else pipeline_flag == "on"),
+        # store_true flags can only opt in; absence defers to
+        # REPRO_PROFILE via RunConfig's default factory.
+        profile=(True if getattr(args, "profile", False) else None),
         trace_path=getattr(args, "trace", None),
         log_level=getattr(args, "log_level", None))
     return JoinSession(config=config)
+
+
+def _parse_host_port(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` -> ``(host, port)`` (stat/top targets)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    return host, int(port)
 
 
 def _cmd_datasets(args) -> int:
@@ -137,6 +151,10 @@ def _cmd_run(args) -> int:
         report = job.compare(engines=engines)
         for result in report.results:
             _print_result_row(result)
+        for result in report.results:
+            if result.profile is not None:
+                print()
+                print(result.profile.render())
         trace_path = session.config.trace_path
     # Leaving the `with` closed the session, which wrote the trace.
     if trace_path:
@@ -148,6 +166,225 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """EXPLAIN ANALYZE one engine run (tree or JSON)."""
+    import json as _json
+
+    with _session_for(args) as session:
+        job = session.query(args.dataset, args.query)
+        result = job.run(args.engine, profile=True)
+    profile = result.profile
+    if profile is None:
+        print(f"ERROR: run failed before profiling "
+              f"({result.failure})", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(profile.as_dict(), indent=2))
+    else:
+        print(profile.render())
+    if not result.ok:
+        print(f"ERROR: run failed ({result.failure})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_stat(args) -> int:
+    """One STAT snapshot of a running `repro serve` agent."""
+    import json as _json
+
+    from .net.agent import agent_stats
+
+    host, port = _parse_host_port(args.agent)
+    try:
+        stats = agent_stats(host, port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot reach agent at {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.history:
+        # Re-request with history included (agent_stats keeps the
+        # default reply small; history rides an explicit STAT meta).
+        from .net.protocol import OP_BYE, OP_STAT, connect, request, \
+            send_frame
+
+        sock = connect(host, port, timeout=args.timeout)
+        try:
+            _op, stats, _payload = request(
+                sock, OP_STAT, {"history": args.history})
+            send_frame(sock, OP_BYE, {})
+        finally:
+            sock.close()
+    if args.json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    metrics = stats.get("metrics") or {}
+    task_hist = metrics.get("agent.task_seconds") or {}
+    print(f"agent {host}:{port}  pid={stats.get('pid')} "
+          f"mode={stats.get('mode')}")
+    print(f"  slots={stats.get('slots')} "
+          f"busy={stats.get('tasks_active', 0)} "
+          f"tasks_run={stats.get('tasks_run')} "
+          f"failed={stats.get('tasks_failed')}")
+    if task_hist.get("count"):
+        print(f"  task_seconds: count={task_hist['count']} "
+              f"mean={task_hist['mean']:.4f} p95={task_hist['p95']:.4f} "
+              f"max={task_hist['max']:.4f}")
+    fetched = metrics.get("net.fetched_bytes")
+    if fetched is not None:
+        print(f"  fetched={_fmt_bytes(fetched)}")
+    for sample in stats.get("history", ()):
+        print(f"  history ts={sample['ts']:.1f} "
+              f"run={sample['tasks_run']} "
+              f"failed={sample['tasks_failed']} "
+              f"active={sample['tasks_active']}")
+    return 0
+
+
+def _expo_value(text: str, name: str) -> float | None:
+    """First sample value of ``name`` in Prometheus exposition text."""
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        sample, _, value = line.rpartition(" ")
+        if sample == name or sample.startswith(name + "{"):
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+class _TopHost:
+    """One monitored agent: persistent connection, per-tick sampling.
+
+    HELLO once at connect (service check + advertised slots), then each
+    tick a PING (measured round-trip = the heartbeat RTT column), a
+    STAT (busy slots, counters, task-latency quantiles) and an EXPO
+    scrape (the exposition-fed bytes column) — the three opcodes
+    `repro top` exercises.  A dead host renders as ``down`` and is
+    re-dialed on the next tick.
+    """
+
+    def __init__(self, spec: str, timeout: float = 5.0):
+        self.spec = spec
+        self.host, self.port = _parse_host_port(spec)
+        self.timeout = timeout
+        self._sock = None
+        self.hello: dict = {}
+
+    def _connect(self):
+        from .net.protocol import OP_HELLO, connect, request
+
+        sock = connect(self.host, self.port, timeout=self.timeout)
+        _op, meta, _payload = request(sock, OP_HELLO, {})
+        self.hello = meta
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                from .net.protocol import OP_BYE, send_frame
+
+                send_frame(sock, OP_BYE, {})
+            except OSError:
+                pass
+            sock.close()
+
+    def sample(self) -> dict:
+        """One row of the table; ``{"status": "down"}`` on failure."""
+        import time as _time
+
+        from .net.agent import agent_expo
+        from .net.protocol import OP_PING, OP_STAT, request
+
+        try:
+            sock = self._sock or self._connect()
+            t0 = _time.perf_counter()
+            request(sock, OP_PING, {})
+            rtt = _time.perf_counter() - t0
+            _op, stats, _payload = request(sock, OP_STAT, {})
+            expo = agent_expo(self.host, self.port,
+                              timeout=self.timeout)
+        except (OSError, EOFError) as exc:
+            self.close()
+            return {"host": self.spec, "status": "down",
+                    "error": str(exc)}
+        metrics = stats.get("metrics") or {}
+        task_hist = metrics.get("agent.task_seconds") or {}
+        fetched = _expo_value(expo, "repro_net_fetched_bytes_total")
+        return {"host": self.spec, "status": "up",
+                "pid": stats.get("pid"),
+                "slots": stats.get("slots"),
+                "busy": stats.get("tasks_active", 0),
+                "tasks_run": stats.get("tasks_run", 0),
+                "tasks_failed": stats.get("tasks_failed", 0),
+                "rtt_ms": rtt * 1e3,
+                "task_p95_ms": (task_hist.get("p95", 0.0) * 1e3
+                                if task_hist.get("count") else None),
+                "fetched_bytes": (int(fetched)
+                                  if fetched is not None else None)}
+
+
+def _render_top(rows, clear: bool) -> None:
+    import time as _time
+
+    if clear:
+        print("\x1b[2J\x1b[H", end="")
+    print(f"repro top — {len(rows)} host"
+          f"{'s' if len(rows) != 1 else ''} @ "
+          f"{_time.strftime('%H:%M:%S')}")
+    print(f"{'host':22} {'st':>4} {'slots':>5} {'busy':>4} "
+          f"{'run':>8} {'fail':>5} {'rtt(ms)':>8} {'p95(ms)':>8} "
+          f"{'fetched':>8}")
+    for row in rows:
+        if row["status"] != "up":
+            print(f"{row['host']:22} {'down':>4}")
+            continue
+        p95 = (f"{row['task_p95_ms']:8.2f}"
+               if row["task_p95_ms"] is not None else f"{'-':>8}")
+        print(f"{row['host']:22} {'up':>4} {row['slots']:>5} "
+              f"{row['busy']:>4} {row['tasks_run']:>8} "
+              f"{row['tasks_failed']:>5} {row['rtt_ms']:>8.2f} {p95} "
+              f"{_fmt_bytes(row['fetched_bytes']):>8}")
+
+
+def _cmd_top(args) -> int:
+    """Live per-host monitor over HELLO/STAT/EXPO."""
+    import json as _json
+    import time as _time
+
+    specs = [s.strip() for s in args.hosts.split(",") if s.strip()]
+    if not specs:
+        print("no hosts given", file=sys.stderr)
+        return 1
+    hosts = [_TopHost(spec, timeout=args.timeout) for spec in specs]
+    clear = sys.stdout.isatty() and not args.json \
+        and args.iterations != 1
+    iteration = 0
+    try:
+        while True:
+            rows = [host.sample() for host in hosts]
+            if args.json:
+                print(_json.dumps({"iteration": iteration,
+                                   "ts": _time.time(), "hosts": rows}),
+                      flush=True)
+            else:
+                _render_top(rows, clear=clear)
+            iteration += 1
+            if args.iterations is not None \
+                    and iteration >= args.iterations:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:   # pragma: no cover - interactive exit
+        pass
+    finally:
+        for host in hosts:
+            host.close()
+    return 0 if any(r["status"] == "up" for r in rows) else 1
+
+
 def _cmd_serve(args) -> int:
     """Stand up a worker agent and serve until interrupted."""
     from .net import WorkerAgent
@@ -155,7 +392,8 @@ def _cmd_serve(args) -> int:
 
     configure_logging(args.log_level)
     agent = WorkerAgent(host=args.host, port=args.port, slots=args.slots,
-                        mode="inline" if args.inline else "processes")
+                        mode="inline" if args.inline else "processes",
+                        expo_port=args.expo_port)
     try:
         agent.start()
     except OSError as exc:
@@ -164,6 +402,9 @@ def _cmd_serve(args) -> int:
         return 1
     print(f"repro worker agent listening on {agent.host}:{agent.port} "
           f"(slots={agent.slots}, pid={os.getpid()})", flush=True)
+    if args.expo_port is not None:
+        print(f"metrics exposition on "
+              f"http://{agent.host}:{args.expo_port}/metrics", flush=True)
 
     # `kill <pid>` (how CI stops agents) should shut the task pool down
     # as cleanly as Ctrl-C does.
@@ -307,17 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_LOG or warning)")
         p.set_defaults(backend=None, transport=None)
 
-    run_p = sub.add_parser("run", help="run engines on a test-case")
-    common(run_p)
-    run_p.add_argument("--engine", default="adj",
-                       choices=["all", *registry.available()])
-    run_p.add_argument("--backend", default=None,
+    def runtime_flags(p):
+        """Backend/data-plane flags shared by `run` and `profile`."""
+        p.add_argument("--backend", default=None,
                        choices=list(RUNTIME_BACKENDS),
                        help="runtime backend for per-worker computation: "
                             "serial/threads/processes run locally, "
                             "'remote' drives worker agents from --hosts "
                             "(default: $REPRO_BACKEND or serial)")
-    run_p.add_argument("--transport", default=None,
+        p.add_argument("--transport", default=None,
                        choices=sorted(available_transports()),
                        help="data plane carrying task payloads: 'pickle' "
                             "ships partition matrices, 'shm' ships "
@@ -325,28 +564,78 @@ def build_parser() -> argparse.ArgumentParser:
                             "block-store descriptors remote workers "
                             "fetch themselves (default: $REPRO_TRANSPORT; "
                             "pickle, or tcp for --backend remote)")
-    run_p.add_argument("--hosts", default=None,
+        p.add_argument("--hosts", default=None,
                        help="comma-separated worker hosts for --backend "
                             "remote: 'host:port' agents (python -m repro "
                             "serve) and/or 'local[:slots]' (default: "
                             "$REPRO_HOSTS)")
-    run_p.add_argument("--kernel", default=None,
+        p.add_argument("--kernel", default=None,
                        choices=list(available_kernels()),
                        help="join kernel for per-cube/per-bag execution: "
                             "'wcoj' is pure Leapfrog, 'binary' chains "
                             "vectorized hash joins, 'adaptive' picks per "
                             "subquery (default: $REPRO_KERNEL or "
                             "adaptive); see docs/kernels.md")
-    run_p.add_argument("--pipeline", default=None, choices=["on", "off"],
+        p.add_argument("--pipeline", default=None,
+                       choices=["on", "off"],
                        help="pipelined epochs: overlap routing/publish "
                             "with task execution ('off' restores the "
                             "strict barriers for A/B; default: "
                             "$REPRO_PIPELINE or on)")
+
+    run_p = sub.add_parser("run", help="run engines on a test-case")
+    common(run_p)
+    run_p.add_argument("--engine", default="adj",
+                       choices=["all", *registry.available()])
+    runtime_flags(run_p)
+    run_p.add_argument("--profile", action="store_true",
+                       help="EXPLAIN ANALYZE: print a per-phase modeled "
+                            "vs measured profile tree after the run "
+                            "table (default: $REPRO_PROFILE)")
     run_p.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome trace-event JSON timeline of "
                             "the run (route, publish, every worker task "
                             "— load in Perfetto / chrome://tracing; "
                             "default: $REPRO_TRACE)")
+
+    profile_p = sub.add_parser(
+        "profile", help="EXPLAIN ANALYZE one engine run: per-phase "
+                        "modeled-vs-measured profile, worker skew, "
+                        "data-plane bytes")
+    common(profile_p)
+    profile_p.add_argument("--engine", default="adj",
+                           choices=list(registry.available()))
+    runtime_flags(profile_p)
+    profile_p.add_argument("--json", action="store_true",
+                           help="emit the profile as JSON "
+                                "(schema docs/observability.md)")
+
+    stat_p = sub.add_parser(
+        "stat", help="one stats snapshot of a running worker agent")
+    stat_p.add_argument("agent", metavar="HOST:PORT",
+                        help="agent address (python -m repro serve)")
+    stat_p.add_argument("--history", type=int, default=0, metavar="N",
+                        help="also fetch the last N ring-buffer samples "
+                             "(agent keeps 256, ~5s apart)")
+    stat_p.add_argument("--timeout", type=float, default=5.0)
+    stat_p.add_argument("--json", action="store_true",
+                        help="raw STAT meta as JSON")
+
+    top_p = sub.add_parser(
+        "top", help="live per-host cluster monitor (HELLO/STAT/EXPO)")
+    top_p.add_argument("hosts", metavar="HOSTS",
+                       help="comma-separated agent addresses "
+                            "(host:port,host:port,...)")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes (default 2)")
+    top_p.add_argument("--iterations", type=int, default=None,
+                       metavar="N",
+                       help="stop after N refreshes (default: run until "
+                            "Ctrl-C)")
+    top_p.add_argument("--timeout", type=float, default=5.0)
+    top_p.add_argument("--json", action="store_true",
+                       help="one JSON document per refresh instead of "
+                            "the table (CI/scripting)")
 
     serve_p = sub.add_parser(
         "serve", help="stand up a worker agent for remote coordinators")
@@ -363,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--max-seconds", type=float, default=None,
                          help="exit after this long (CI convenience; "
                               "default: serve until Ctrl-C)")
+    serve_p.add_argument("--expo-port", type=int, default=None,
+                         dest="expo_port", metavar="PORT",
+                         help="also serve Prometheus-style text metrics "
+                              "over HTTP on this port (GET /metrics; "
+                              "default: frames-only, EXPO opcode still "
+                              "answers)")
     serve_p.add_argument("--inline", action="store_true",
                          help="run tasks on the connection thread "
                               "instead of the process pool (debugging; "
@@ -412,6 +707,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "queries": _cmd_queries,
         "run": _cmd_run,
+        "profile": _cmd_profile,
+        "stat": _cmd_stat,
+        "top": _cmd_top,
         "plan": _cmd_plan,
         "estimate": _cmd_estimate,
         "serve": _cmd_serve,

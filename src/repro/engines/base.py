@@ -145,6 +145,17 @@ class EngineResult:
         """
         return self.extra.get("trace")
 
+    @property
+    def profile(self):
+        """The EXPLAIN ANALYZE report, when the run was profiled.
+
+        A :class:`repro.obs.profile.QueryProfile` attached by
+        ``QueryJob.run(profile=True)`` / ``repro run --profile``:
+        modeled-vs-measured phases, per-worker skew, per-atom bytes and
+        the query's scoped metrics window.  None otherwise.
+        """
+        return self.extra.get("profile")
+
 
 class Engine(Protocol):
     """A distributed join engine (the paper's competing methods)."""

@@ -34,9 +34,13 @@ import os
 import pickle
 import socket
 import threading
+import time
+from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 
 from ..errors import ConfigError
+from ..obs.expo import CONTENT_TYPE_TEXT, prometheus_text, \
+    start_http_exposition
 from ..obs.log import get_logger, kv
 from ..obs.metrics import METRICS
 from ..obs.tracing import current_tracer, set_thread_tracer, task_tracer
@@ -45,6 +49,7 @@ from .protocol import (
     OP_BYE,
     OP_DATA,
     OP_ERR,
+    OP_EXPO,
     OP_HELLO,
     OP_OK,
     OP_PING,
@@ -57,13 +62,26 @@ from .protocol import (
     send_frame,
 )
 
-__all__ = ["WorkerAgent", "agent_stats"]
+__all__ = ["WorkerAgent", "agent_stats", "agent_expo"]
+
+#: STAT-history ring capacity: at the default sample interval this is
+#: ~20 minutes of continuous history per agent, O(1) memory forever.
+HISTORY_SIZE = 256
 
 log = get_logger("repro.net.agent")
 
 
 class WorkerAgent(FrameServer):
-    """Serves HELLO/PING/STAT/TASK/BYE; runs tasks on a process pool.
+    """Serves HELLO/PING/STAT/TASK/EXPO/BYE; runs tasks on a process
+    pool.
+
+    Continuous export: a background sampler appends the task counters
+    to a bounded ring buffer every ``history_interval`` seconds (STAT
+    meta ``{"history": n}`` returns the last ``n`` samples), the EXPO
+    opcode answers with a Prometheus text exposition of this process's
+    metrics plus agent gauges (slots, busy slots), and ``expo_port``
+    serves the same document over HTTP for real scrapers
+    (``repro serve --expo-port``).  ``repro top`` polls all of it.
 
     Observability: a TASK frame whose meta carries a ``trace`` context
     makes the agent record spans — its own ``agent_task`` dispatch span
@@ -76,7 +94,9 @@ class WorkerAgent(FrameServer):
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 slots: int | None = None, mode: str = "processes"):
+                 slots: int | None = None, mode: str = "processes",
+                 expo_port: int | None = None,
+                 history_interval: float = 5.0):
         super().__init__(host, port)
         #: Task slots this host advertises (the coordinator opens this
         #: many task connections).  Defaults to the usable CPU count.
@@ -85,11 +105,23 @@ class WorkerAgent(FrameServer):
             raise ConfigError(f"unknown agent mode {mode!r}; "
                               f"choose from ('processes', 'inline')")
         self.mode = mode
+        #: When set, ``start()`` also serves the Prometheus exposition
+        #: over HTTP on this port (``repro serve --expo-port``).
+        self.expo_port = expo_port
         self.tasks_run = 0
         self.tasks_failed = 0
+        self.tasks_active = 0
         self._counter_lock = threading.Lock()
         self._pool = None
         self._pool_lock = threading.Lock()
+        #: Ring buffer of periodic counter samples — the continuous
+        #: STAT history a monitor fetches via STAT meta
+        #: ``{"history": n}`` without having polled the whole time.
+        self._history: deque[dict] = deque(maxlen=HISTORY_SIZE)
+        self._history_interval = max(0.1, float(history_interval))
+        self._sampler_stop = threading.Event()
+        self._sampler: threading.Thread | None = None
+        self._expo_server = None
 
     def _run_task(self, fn, task):
         if self.mode == "inline":
@@ -119,13 +151,30 @@ class WorkerAgent(FrameServer):
 
     def start(self) -> "WorkerAgent":
         super().start()
+        self._sampler_stop.clear()
+        self._sampler = threading.Thread(
+            target=self._sample_loop,
+            name=f"repro-agent-history-{self.port}", daemon=True)
+        self._sampler.start()
+        if self.expo_port is not None:
+            self._expo_server = start_http_exposition(
+                self.host, self.expo_port, self.exposition)
         log.info("agent listening %s",
                  kv(host=self.host, port=self.port, slots=self.slots,
-                    mode=self.mode, pid=os.getpid()))
+                    mode=self.mode, pid=os.getpid(),
+                    expo_port=self.expo_port))
         return self
 
     def stop(self) -> None:
         was_running = self.running
+        self._sampler_stop.set()
+        sampler, self._sampler = self._sampler, None
+        if sampler is not None:
+            sampler.join(timeout=2.0)
+        server, self._expo_server = self._expo_server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
         super().stop()
         with self._pool_lock:
             pool, self._pool = self._pool, None
@@ -136,13 +185,47 @@ class WorkerAgent(FrameServer):
                      kv(port=self.port, tasks_run=self.tasks_run,
                         tasks_failed=self.tasks_failed))
 
-    def _stat_meta(self) -> dict:
+    # -- continuous export ---------------------------------------------------
+
+    def _counters(self) -> dict:
         with self._counter_lock:
-            tasks_run, tasks_failed = self.tasks_run, self.tasks_failed
-        return {"service": "worker-agent", "pid": os.getpid(),
+            return {"tasks_run": self.tasks_run,
+                    "tasks_failed": self.tasks_failed,
+                    "tasks_active": self.tasks_active}
+
+    def _sample_loop(self) -> None:
+        """Append one counter sample per interval into the ring buffer."""
+        while not self._sampler_stop.is_set():
+            sample = self._counters()
+            sample["ts"] = time.time()
+            self._history.append(sample)
+            self._sampler_stop.wait(self._history_interval)
+
+    def history(self, limit: int | None = None) -> list[dict]:
+        """The most recent ring-buffer samples (oldest first)."""
+        samples = list(self._history)
+        if limit is not None and limit >= 0:
+            samples = samples[-limit:]
+        return samples
+
+    def exposition(self) -> str:
+        """Prometheus text: process metrics plus agent-level gauges."""
+        counters = self._counters()
+        return prometheus_text(METRICS, extra={
+            "agent_slots": self.slots,
+            "agent_tasks_active": counters["tasks_active"],
+            "agent_tasks_run": counters["tasks_run"],
+            "agent_tasks_failed": counters["tasks_failed"],
+        })
+
+    def _stat_meta(self, history: int | None = None) -> dict:
+        meta = {"service": "worker-agent", "pid": os.getpid(),
                 "slots": self.slots, "mode": self.mode,
-                "tasks_run": tasks_run, "tasks_failed": tasks_failed,
                 "metrics": METRICS.snapshot()}
+        meta.update(self._counters())
+        if history:
+            meta["history"] = self.history(int(history))
+        return meta
 
     def _handle_task(self, sock: socket.socket, meta: dict,
                      payload: bytes) -> None:
@@ -155,6 +238,9 @@ class WorkerAgent(FrameServer):
         recorder = tracer if tracer.enabled else (
             current_tracer() if ctx else tracer)
         previous = set_thread_tracer(tracer) if tracer.enabled else None
+        with self._counter_lock:
+            self.tasks_active += 1
+        start = time.perf_counter()
         try:
             try:
                 with recorder.span("agent_task", cat="agent",
@@ -185,7 +271,15 @@ class WorkerAgent(FrameServer):
                 if tracer.enabled:
                     ok_meta["spans"] = tracer.export_payload()
                 send_frame(sock, OP_DATA, ok_meta, reply)
+                METRICS.counter("agent.reply_bytes").inc(len(reply))
         finally:
+            # The agent-process view of task latency/load — recorded
+            # here (not in the pool child) so STAT/EXPO serve it in
+            # both pool modes; what `repro top`'s p95 column reads.
+            METRICS.histogram("agent.task_seconds").observe(
+                time.perf_counter() - start)
+            with self._counter_lock:
+                self.tasks_active -= 1
             if tracer.enabled:
                 set_thread_tracer(previous)
 
@@ -199,7 +293,12 @@ class WorkerAgent(FrameServer):
         elif op == OP_PING:
             send_frame(sock, OP_OK, {"pid": os.getpid()})
         elif op == OP_STAT:
-            send_frame(sock, OP_OK, self._stat_meta())
+            send_frame(sock, OP_OK,
+                       self._stat_meta(history=meta.get("history")))
+        elif op == OP_EXPO:
+            send_frame(sock, OP_DATA,
+                       {"content_type": CONTENT_TYPE_TEXT},
+                       self.exposition().encode())
         elif op == OP_TASK:
             self._handle_task(sock, meta, payload)
         elif op == OP_BYE:
@@ -226,5 +325,22 @@ def agent_stats(host: str, port: int, timeout: float | None = 10.0
         _op, meta, _payload = request(sock, OP_STAT, {})
         send_frame(sock, OP_BYE, {})
         return meta
+    finally:
+        sock.close()
+
+
+def agent_expo(host: str, port: int, timeout: float | None = 10.0
+               ) -> str:
+    """One Prometheus-text scrape of an agent over the frame protocol.
+
+    The EXPO opcode's answer: the same exposition document the agent's
+    ``--expo-port`` HTTP listener serves, fetched over the existing
+    agent port — what ``repro top`` polls when no scraper is running.
+    """
+    sock = connect(host, port, timeout=timeout)
+    try:
+        _op, _meta, payload = request(sock, OP_EXPO, {})
+        send_frame(sock, OP_BYE, {})
+        return payload.decode()
     finally:
         sock.close()

@@ -15,7 +15,9 @@ pickled twice.  Frames are capped at :data:`MAX_FRAME_BYTES` so a
 corrupt length prefix fails loudly instead of attempting a huge read.
 
 Request opcodes: HELLO (handshake), PING (heartbeat), PUT/GET/LIST/FREE
-/STAT (block store), TASK (worker agent), BYE (end of session).
+/STAT (block store), TASK (worker agent), BYE (end of session), EXPO
+(Prometheus-style text exposition of the peer's metrics registry —
+the continuous-export opcode ``repro top`` polls).
 Response opcodes: OK (meta only), DATA (meta + payload), ERR (meta
 carries ``error`` and ``message``).
 
@@ -43,7 +45,8 @@ from ..errors import BlockNotFound, NetError
 __all__ = [
     "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
     "OP_HELLO", "OP_PING", "OP_PUT", "OP_GET", "OP_LIST", "OP_FREE",
-    "OP_STAT", "OP_TASK", "OP_BYE", "OP_OK", "OP_DATA", "OP_ERR",
+    "OP_STAT", "OP_TASK", "OP_BYE", "OP_EXPO", "OP_OK", "OP_DATA",
+    "OP_ERR",
     "send_frame", "recv_frame", "request", "connect", "FrameServer",
 ]
 
@@ -62,6 +65,7 @@ OP_FREE = 6
 OP_STAT = 7
 OP_TASK = 8
 OP_BYE = 9
+OP_EXPO = 10
 OP_OK = 64
 OP_DATA = 65
 OP_ERR = 66

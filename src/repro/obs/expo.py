@@ -1,0 +1,148 @@
+"""Prometheus-style text exposition of the metrics registry.
+
+Turns :class:`~repro.obs.metrics.MetricsRegistry` instruments into the
+Prometheus text format (version 0.0.4): counters become ``*_total``
+series, gauges stay bare, histograms render as summaries with
+``quantile`` labels plus ``_sum``/``_count``.  Dynamic name suffixes
+the stack mints at runtime (``net.heartbeat_rtt_seconds.<host>``,
+``kernel.selected.<key>``) fold into labels so the series set stays
+bounded.
+
+Two transports serve it:
+
+- the worker agent's EXPO opcode (``repro.net.agent``) — frame-native,
+  what ``repro top`` polls;
+- :func:`start_http_exposition` — a stdlib HTTP listener for an actual
+  Prometheus scrape (``repro serve --expo-port``), answering
+  ``GET /metrics``.
+
+See docs/observability.md ("Continuous export").
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .log import get_logger, kv
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["prometheus_text", "start_http_exposition",
+           "CONTENT_TYPE_TEXT"]
+
+log = get_logger("repro.obs.expo")
+
+#: The exposition content type Prometheus scrapers expect.
+CONTENT_TYPE_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Registry-name prefixes whose dynamic suffix becomes a label value
+#: instead of part of the metric name (keeps the series set bounded).
+_LABELED_PREFIXES: tuple[tuple[str, str, str], ...] = (
+    ("net.heartbeat_rtt_seconds.", "net_heartbeat_rtt_seconds", "host"),
+    ("kernel.selected.", "kernel_selected", "kernel"),
+)
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _series(name: str) -> tuple[str, str]:
+    """``(metric_name, label_block)`` for one registry name."""
+    for prefix, metric, label in _LABELED_PREFIXES:
+        if name.startswith(prefix) and len(name) > len(prefix):
+            value = name[len(prefix):].replace("\\", "\\\\") \
+                .replace('"', '\\"')
+            return f"repro_{metric}", f'{{{label}="{value}"}}'
+    return "repro_" + _INVALID.sub("_", name), ""
+
+
+def _fmt(value: float) -> str:
+    return repr(int(value)) if value == int(value) else repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry = METRICS,
+                    extra: dict | None = None) -> str:
+    """The registry rendered as Prometheus text exposition.
+
+    ``extra`` adds caller-owned gauges (the agent's slots / busy-slot
+    counts) as ``repro_<key>`` series.  Counter values are monotonic
+    within one process lifetime — the property CI's exposition check
+    asserts across two scrapes.
+    """
+    typed: dict[str, str] = {}
+    samples: list[str] = []
+    for name, inst in registry.instruments():
+        metric, labels = _series(name)
+        if isinstance(inst, Counter):
+            metric += "_total"
+            typed.setdefault(metric, "counter")
+            samples.append(f"{metric}{labels} {_fmt(inst.snapshot())}")
+        elif isinstance(inst, Gauge):
+            typed.setdefault(metric, "gauge")
+            samples.append(f"{metric}{labels} {_fmt(inst.snapshot())}")
+        elif isinstance(inst, Histogram):
+            typed.setdefault(metric, "summary")
+            summary = inst.snapshot()
+            for key, q in (("p50", "0.5"), ("p95", "0.95"),
+                           ("p99", "0.99")):
+                samples.append(f'{metric}{{quantile="{q}"}} '
+                               f"{_fmt(summary[key])}")
+            samples.append(f"{metric}_sum {_fmt(summary['sum'])}")
+            samples.append(f"{metric}_count {summary['count']}")
+    for key, value in sorted((extra or {}).items()):
+        metric = "repro_" + _INVALID.sub("_", str(key))
+        typed.setdefault(metric, "gauge")
+        samples.append(f"{metric} {_fmt(float(value))}")
+
+    lines: list[str] = []
+    emitted: set[str] = set()
+    for sample in samples:
+        metric = sample.split("{", 1)[0].split(" ", 1)[0]
+        base = metric[:-6] if metric.endswith("_total") else metric
+        for candidate in (metric, base):
+            if candidate in typed and candidate not in emitted:
+                emitted.add(candidate)
+                lines.append(f"# TYPE {candidate} {typed[candidate]}")
+        lines.append(sample)
+    return "\n".join(lines) + "\n"
+
+
+class _ExpoHandler(BaseHTTPRequestHandler):
+    """Answers ``GET /metrics`` (and ``/``) with the exposition text."""
+
+    # Set per-server via the factory in start_http_exposition.
+    collect = staticmethod(lambda: "")
+
+    def do_GET(self):   # noqa: N802 — BaseHTTPRequestHandler contract
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        body = type(self).collect().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE_TEXT)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        log.debug("expo scrape %s", kv(path=self.path,
+                                       client=self.client_address[0]))
+
+
+def start_http_exposition(host: str, port: int, collect
+                          ) -> ThreadingHTTPServer:
+    """Serve ``collect()`` (an exposition-text thunk) over HTTP.
+
+    Binds immediately, serves on a daemon thread; call ``shutdown()``
+    then ``server_close()`` to stop (the agent's ``stop()`` does).
+    """
+    handler = type("ExpoHandler", (_ExpoHandler,),
+                   {"collect": staticmethod(collect)})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever,
+                              name=f"repro-expo-{port}", daemon=True)
+    thread.start()
+    log.info("exposition listening %s",
+             kv(host=host, port=server.server_address[1]))
+    return server

@@ -111,13 +111,20 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, host: str | None = None):
+    def __init__(self, host: str | None = None,
+                 query_id: str | None = None):
         self.host = host or _HOSTNAME
         #: Pid this tracer was created in.  task_tracer uses it to tell
         #: "same process, record directly" from "forked child holding a
         #: dead copy of the coordinator's tracer" (fork inherits the
         #: module global; spans recorded there would never ship home).
         self.pid = os.getpid()
+        #: While set, every recorded span is stamped with
+        #: ``args["query_id"]`` — the per-query attribution tag.
+        #: ``QueryJob.run`` sets/restores it around each run, and
+        #: :func:`trace_context` propagates it so pool children and
+        #: remote agents stamp the spans they ship home too.
+        self.query_id = query_id
         self.spans: list[Span] = []
         self._lock = threading.Lock()
 
@@ -142,6 +149,8 @@ class Tracer:
                  tid: int | None = None, host: str | None = None,
                  **args) -> Span:
         """Append one pre-timed span (synthesized or replayed)."""
+        if self.query_id is not None and "query_id" not in args:
+            args["query_id"] = self.query_id
         span = Span(name=name, cat=cat, ts=float(ts),
                     dur=max(0.0, float(dur)),
                     pid=os.getpid() if pid is None else int(pid),
@@ -215,6 +224,7 @@ class NoopTracer:
     """
 
     enabled = False
+    query_id = None
     __slots__ = ()
 
     # span() must swallow arbitrary positional/keyword args at zero cost.
@@ -309,7 +319,10 @@ def trace_context() -> dict | None:
     tracer = current_tracer()
     if not tracer.enabled:
         return None
-    return {"enabled": True, "origin": tracer.host}
+    ctx = {"enabled": True, "origin": tracer.host}
+    if tracer.query_id is not None:
+        ctx["query_id"] = tracer.query_id
+    return ctx
 
 
 def task_tracer(ctx) -> "Tracer | NoopTracer":
@@ -330,7 +343,8 @@ def task_tracer(ctx) -> "Tracer | NoopTracer":
     current = current_tracer()
     if current.enabled and getattr(current, "pid", None) == os.getpid():
         return NOOP_TRACER
-    return Tracer()
+    return Tracer(query_id=ctx.get("query_id")
+                  if isinstance(ctx, dict) else None)
 
 
 def chrome_trace_events(spans) -> list[dict]:

@@ -26,7 +26,12 @@ from repro.obs.log import (
     kv,
     resolve_level,
 )
-from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.expo import prometheus_text
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    snapshot_delta,
+)
 from repro.obs.tracing import (
     NOOP_TRACER,
     Span,
@@ -130,6 +135,23 @@ class TestTracer:
     def test_tracer_records_creating_pid(self):
         assert Tracer().pid == os.getpid()
 
+    def test_query_id_stamped_into_span_args(self):
+        t = Tracer(query_id="q0001:Q5")
+        with t.span("route", cat="engine"):
+            pass
+        t.add_span("publish", 1.0, 0.1, query_id="q0042:Q1")
+        assert t.spans[0].args["query_id"] == "q0001:Q5"
+        # An explicit query_id in args wins over the tracer's.
+        assert t.spans[1].args["query_id"] == "q0042:Q1"
+
+    def test_query_id_off_by_default(self):
+        t = Tracer()
+        assert t.query_id is None
+        with t.span("route"):
+            pass
+        assert "query_id" not in t.spans[0].args
+        assert NOOP_TRACER.query_id is None
+
 
 class TestChromeExport:
     def test_events_are_sorted_and_complete(self):
@@ -195,6 +217,24 @@ class TestNoopTracer:
             pass
         assert current_tracer() is NOOP_TRACER
 
+    def test_profile_off_run_allocates_no_span_objects(self,
+                                                       monkeypatch):
+        """Tracing off AND profiling off => a full query run constructs
+        zero Span objects anywhere on the coordinator (the PR-6 noop
+        contract, extended to the profiler)."""
+        from repro import JoinSession
+
+        def exploding_span(*args, **kwargs):
+            raise AssertionError("Span allocated with profiling off")
+
+        monkeypatch.setattr(tracing, "Span", exploding_span)
+        with JoinSession(workers=2, backend="threads",
+                         transport="pickle") as session:
+            result = session.query("wb", "Q1", scale=1e-5).run(
+                "adj", profile=False)
+        assert result.ok
+        assert result.profile is None
+
 
 class TestTracerInstallation:
     def test_thread_local_wins_over_global(self):
@@ -216,6 +256,19 @@ class TestTracerInstallation:
         assert trace_context() is None
         with use_tracer(Tracer(host="org")):
             assert trace_context() == {"enabled": True, "origin": "org"}
+
+    def test_trace_context_carries_query_id_across_processes(self):
+        """The chain that attributes pool/agent spans to a query: the
+        coordinator's context carries query_id, and task_tracer builds
+        the child's tracer with it."""
+        with use_tracer(Tracer(host="org", query_id="q0003:Q9")):
+            ctx = trace_context()
+        assert ctx["query_id"] == "q0003:Q9"
+        child = task_tracer(ctx)        # fresh worker process path
+        assert child.query_id == "q0003:Q9"
+        with child.span("agent_task", cat="task"):
+            pass
+        assert child.spans[0].args["query_id"] == "q0003:Q9"
 
     def test_task_tracer_rules(self):
         # No context: the free path.
@@ -305,6 +358,148 @@ class TestMetrics:
         assert snap["agent.tasks"] == 4
         assert snap["tasks"] == 1
         assert snap["agent.lat"]["count"] == 2
+
+    def test_histogram_snapshot_keeps_legacy_keys_and_quantiles(self):
+        """Existing ``runtime.task_seconds`` consumers read count/sum/
+        min/max/mean; the reservoir adds p50/p95/p99 alongside."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = reg.snapshot()["h"]
+        assert set(snap) == {"count", "sum", "min", "max", "mean",
+                             "p50", "p95", "p99"}
+        assert snap["count"] == 100
+        # Exact while the reservoir (512 slots) hasn't overflowed.
+        assert snap["p50"] == pytest.approx(50.0, abs=2.0)
+        assert snap["p95"] == pytest.approx(95.0, abs=2.0)
+        assert snap["p99"] == pytest.approx(99.0, abs=2.0)
+
+    def test_histogram_reservoir_is_bounded_and_deterministic(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        def fill(reg):
+            h = reg.histogram("h")
+            for v in range(10 * RESERVOIR_SIZE):
+                h.observe(float(v))
+            return h
+
+        a, b = fill(MetricsRegistry()), fill(MetricsRegistry())
+        assert len(a._samples) == RESERVOIR_SIZE
+        # Same name => same seed => reproducible quantiles.
+        assert a._samples == b._samples
+        # Algorithm R keeps a uniform sample: the median of 0..5119
+        # stays near the true midpoint.
+        mid = 10 * RESERVOIR_SIZE / 2
+        assert a.percentile(0.50) == pytest.approx(mid, rel=0.25)
+
+    def test_scope_windows_counters_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks").inc(10)        # pre-window noise
+        reg.histogram("lat").observe(99.0)
+        with reg.scope("q0001:Q1") as scope:
+            reg.counter("tasks").inc(2)
+            reg.gauge("depth").set(3.0)
+            reg.histogram("lat").observe(1.0)
+            reg.histogram("lat").observe(2.0)
+        reg.counter("tasks").inc(5)         # post-window noise
+        window = scope.snapshot()
+        assert window["tasks"] == 2
+        assert window["depth"] == 3.0
+        assert window["lat"]["count"] == 2
+        assert window["lat"]["max"] == 2.0  # 99.0 stayed outside
+        # Quantiles are computed over the window's own reservoir.
+        assert window["lat"]["p95"] == pytest.approx(2.0)
+        # The parent registry saw everything.
+        assert reg.snapshot()["tasks"] == 17
+
+    def test_scopes_nest_and_detach_cleanly(self):
+        reg = MetricsRegistry()
+        with reg.scope("outer") as outer:
+            reg.counter("c").inc()
+            with reg.scope("inner") as inner:
+                reg.counter("c").inc()
+        assert inner.snapshot()["c"] == 1
+        assert outer.snapshot()["c"] == 2
+        reg.counter("c").inc()              # both windows closed
+        assert outer.snapshot()["c"] == 2
+
+    def test_snapshot_delta_diffs_counters_and_windows_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.counter("same").inc(1)
+        h = reg.histogram("h")
+        h.observe(1.0)
+        before = reg.snapshot()
+        reg.counter("c").inc(4)
+        h.observe(5.0)
+        h.observe(7.0)
+        reg.counter("new").inc(9)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["c"] == 4
+        assert delta["new"] == 9
+        assert "same" not in delta          # zero-change entries omitted
+        assert delta["h"]["count"] == 2
+        assert delta["h"]["sum"] == pytest.approx(12.0)
+        assert delta["h"]["mean"] == pytest.approx(6.0)
+
+    def test_instruments_returns_sorted_typed_pairs(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc()
+        reg.gauge("a.level").set(1.0)
+        reg.histogram("c.lat").observe(0.5)
+        names = [name for name, _ in reg.instruments()]
+        assert names == ["a.level", "b.count", "c.lat"]
+
+
+class TestPrometheusExposition:
+    def test_counters_get_total_suffix_and_type_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("runtime.tasks_completed").inc(7)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_runtime_tasks_completed_total counter" \
+            in text
+        assert "repro_runtime_tasks_completed_total 7" in text
+
+    def test_histograms_render_as_summaries(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("runtime.task_seconds")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_runtime_task_seconds summary" in text
+        assert 'repro_runtime_task_seconds{quantile="0.5"} 2' in text
+        assert "repro_runtime_task_seconds_sum 6" in text
+        assert "repro_runtime_task_seconds_count 3" in text
+
+    def test_per_host_series_fold_into_labels(self):
+        reg = MetricsRegistry()
+        reg.gauge("net.heartbeat_rtt_seconds.10.0.0.7:7070").set(0.25)
+        reg.counter("kernel.selected.wcoj").inc()
+        text = prometheus_text(reg)
+        assert ('repro_net_heartbeat_rtt_seconds'
+                '{host="10.0.0.7:7070"} 0.25') in text
+        assert 'repro_kernel_selected_total{kernel="wcoj"} 1' in text
+
+    def test_extra_gauges_appended(self):
+        text = prometheus_text(MetricsRegistry(),
+                               extra={"agent_slots": 4})
+        assert "# TYPE repro_agent_slots gauge" in text
+        assert "repro_agent_slots 4" in text
+
+    def test_output_is_parseable_line_format(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(2)
+        reg.gauge("c.d").set(1.5)
+        reg.histogram("e.f").observe(1.0)
+        for line in prometheus_text(reg).splitlines():
+            assert line == line.strip() and line
+            if line.startswith("#"):
+                assert line.split()[1] in ("TYPE", "HELP")
+                continue
+            sample, value = line.rsplit(" ", 1)
+            float(value)                    # every value parses
+            assert sample.startswith("repro_")
 
 
 # -- logging ------------------------------------------------------------------
@@ -444,6 +639,18 @@ class TestConfigWiring:
         with pytest.raises(ConfigError):
             RunConfig(log_level="chatty")
 
+    def test_profile_env_default(self, monkeypatch):
+        from repro.api.config import PROFILE_ENV_VAR, RunConfig
+
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        assert RunConfig().profile is False
+        monkeypatch.setenv(PROFILE_ENV_VAR, "on")
+        assert RunConfig().profile is True
+        assert RunConfig(profile=False).profile is False  # flag wins
+        monkeypatch.setenv(PROFILE_ENV_VAR, "sometimes")
+        with pytest.raises(ConfigError):
+            RunConfig()
+
     def test_session_tracer_noop_without_trace_path(self):
         from repro import JoinSession
 
@@ -485,19 +692,35 @@ class TestTracedRuns:
     def test_metrics_agree_with_data_plane(self):
         from repro import JoinSession
 
-        METRICS.reset()
+        # The supported windowing pattern: diff two snapshots instead
+        # of resetting the process-global registry.
+        before = METRICS.snapshot()
         with JoinSession(workers=2, backend="threads",
                          transport="pickle") as session:
             result = session.query("wb", "Q1", scale=1e-5).run("adj")
             assert result.ok
             plane = result.data_plane
-            snap = session.metrics()
+            snap = session.metrics(delta_from=before)
             for key in ("published_blocks", "published_bytes",
                         "shipped_refs", "shipped_bytes",
                         "fetched_blocks", "fetched_bytes"):
-                # Zero-valued stats are skipped at teardown, so a
-                # missing counter reads as 0.
+                # Zero-valued stats are skipped at teardown, and the
+                # delta omits unchanged entries, so a missing counter
+                # reads as 0.
                 assert snap.get(f"transport.{key}", 0) == plane[key]
+
+    def test_session_metrics_delta_is_a_window(self):
+        from repro import JoinSession
+
+        with JoinSession(workers=2) as session:
+            METRICS.counter("query.runs").inc(5)
+            before = session.metrics()
+            METRICS.counter("query.runs").inc(2)
+            METRICS.histogram("query.seconds").observe(0.5)
+            delta = session.metrics(delta_from=before)
+        assert delta["query.runs"] == 2
+        assert delta["query.seconds"]["count"] == 1
+        assert delta["query.seconds"]["mean"] == pytest.approx(0.5)
 
     def test_cli_run_trace_flag_writes_chrome_json(self, tmp_path,
                                                    capsys):
@@ -575,6 +798,149 @@ class TestAgentObservability:
         assert stats["slots"] == 3
         assert stats["tasks_run"] == 0
         assert isinstance(stats["metrics"], dict)
+
+    def test_stat_returns_history_when_asked(self):
+        from repro.net import WorkerAgent
+        from repro.net.protocol import (
+            OP_BYE,
+            OP_STAT,
+            connect,
+            request,
+            send_frame,
+        )
+
+        agent = WorkerAgent(port=0, slots=1, mode="inline",
+                            history_interval=0.1).start()
+        try:
+            import time
+
+            time.sleep(0.35)            # let the sampler tick a few times
+            sock = connect("127.0.0.1", agent.port)
+            _op, plain, _ = request(sock, OP_STAT, {})
+            _op, with_hist, _ = request(sock, OP_STAT, {"history": 2})
+            send_frame(sock, OP_BYE, {})
+            sock.close()
+        finally:
+            agent.stop()
+        assert "history" not in plain   # default reply stays small
+        samples = with_hist["history"]
+        assert 1 <= len(samples) <= 2
+        for sample in samples:
+            assert set(sample) >= {"ts", "tasks_run", "tasks_failed",
+                                   "tasks_active"}
+        assert [s["ts"] for s in samples] == \
+            sorted(s["ts"] for s in samples)
+
+    def test_expo_opcode_serves_prometheus_text(self):
+        from repro.net import WorkerAgent
+        from repro.net.agent import agent_expo
+
+        agent = WorkerAgent(port=0, slots=2, mode="inline").start()
+        try:
+            text = agent_expo("127.0.0.1", agent.port)
+        finally:
+            agent.stop()
+        assert "# TYPE repro_agent_slots gauge" in text
+        assert "repro_agent_slots 2" in text
+        assert "repro_agent_tasks_run 0" in text
+        # Every sample line parses as "<series> <float>".
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])
+
+    def test_expo_http_endpoint_matches_frame_opcode(self):
+        import urllib.request
+
+        from repro.net import WorkerAgent
+        from repro.net.agent import agent_expo
+
+        agent = WorkerAgent(port=0, slots=1, mode="inline",
+                            expo_port=0)
+        # expo_port=0 is not routable for HTTP (BaseHTTPServer binds an
+        # ephemeral port); read it back from the server object.
+        agent.start()
+        try:
+            http_port = agent._expo_server.server_address[1]
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{http_port}/metrics",
+                    timeout=5) as resp:
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain")
+                http_text = resp.read().decode()
+            frame_text = agent_expo("127.0.0.1", agent.port)
+        finally:
+            agent.stop()
+        # Same collector behind both surfaces (gauge samples may move
+        # between scrapes; the family lines are stable).
+        http_families = {l for l in http_text.splitlines()
+                         if l.startswith("# TYPE")}
+        frame_families = {l for l in frame_text.splitlines()
+                          if l.startswith("# TYPE")}
+        assert http_families == frame_families
+
+    def test_agent_records_task_latency_metrics(self):
+        from repro.net import WorkerAgent
+        from repro.net.protocol import (
+            OP_BYE,
+            OP_TASK,
+            connect,
+            request,
+            send_frame,
+        )
+
+        agent = WorkerAgent(port=0, slots=1, mode="inline").start()
+        try:
+            sock = connect("127.0.0.1", agent.port)
+            request(sock, OP_TASK, {"slot": 0},
+                    pickle.dumps((_echo_task, 1)))
+            from repro.net.agent import agent_stats
+
+            stats = agent_stats("127.0.0.1", agent.port)
+            send_frame(sock, OP_BYE, {})
+            sock.close()
+        finally:
+            agent.stop()
+        hist = stats["metrics"]["agent.task_seconds"]
+        assert hist["count"] == 1
+        assert stats["metrics"]["agent.reply_bytes"] > 0
+        assert stats["tasks_active"] == 0
+
+    def test_cli_stat_and_top_commands(self, capsys):
+        from repro.cli import main
+        from repro.net import WorkerAgent
+
+        agent = WorkerAgent(port=0, slots=2, mode="inline").start()
+        addr = f"127.0.0.1:{agent.port}"
+        try:
+            assert main(["stat", addr]) == 0
+            out = capsys.readouterr().out
+            assert f"agent {addr}" in out and "slots=2" in out
+
+            assert main(["stat", addr, "--json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["slots"] == 2 and doc["service"] == "worker-agent"
+
+            assert main(["top", addr, "--iterations", "1",
+                         "--json"]) == 0
+            tick = json.loads(capsys.readouterr().out)
+            (row,) = tick["hosts"]
+            assert row["status"] == "up" and row["slots"] == 2
+            assert row["rtt_ms"] >= 0.0
+
+            assert main(["top", addr, "--iterations", "1"]) == 0
+            table = capsys.readouterr().out
+            assert "repro top" in table and addr in table
+        finally:
+            agent.stop()
+
+    def test_cli_top_marks_dead_hosts_down(self, capsys):
+        from repro.cli import main
+
+        # Port 1 on loopback: nothing listens there.
+        assert main(["top", "127.0.0.1:1", "--iterations", "1",
+                     "--timeout", "0.5", "--json"]) == 1
+        tick = json.loads(capsys.readouterr().out)
+        assert tick["hosts"][0]["status"] == "down"
 
     def test_remote_run_merges_agent_spans(self, tmp_path):
         from repro import JoinSession
