@@ -39,9 +39,17 @@ intermediate makes Leapfrog the only sane choice.  The sweep asserts
 all kernels agree on counts and that ``adaptive`` never loses to the
 worst pure kernel.
 
+Since PR 10 the bench can also sweep the :mod:`repro.service` layer
+(``--service-json`` / ``--only-service``): cold vs warm-cache latency
+for one query through a warm :class:`QueryService`, then sustained
+queries/sec at client concurrency 1/4/8 — once with the result cache
+on (server-side cache-hit throughput) and once bypassing it (real
+concurrent executions multiplexed onto the shared warm cluster).
+
 Run:  PYTHONPATH=src python benchmarks/bench_runtime_backends.py
       [--json BENCH_runtime.json] [--kernels-json BENCH_kernels.json]
       [--only-kernels] [--trace-dir traces/] [--profile-dir profiles/]
+      [--service-json BENCH_service.json] [--only-service]
 
 ``--trace-dir`` additionally writes one Chrome trace-event JSON per
 (backend, transport, workers, pipeline) config — the pipelined overlap
@@ -216,6 +224,119 @@ def run_profiles(profile_dir) -> list[dict]:
     return docs
 
 
+#: Per-thread query repetitions in the service qps sweep.
+SERVICE_ROUNDS = 3
+SERVICE_CONCURRENCY = (1, 4, 8)
+
+
+def run_service():
+    """Cold vs warm-cache latency, then qps at concurrency 1/4/8.
+
+    One warm :class:`QueryService` on the threads backend serves every
+    request.  The qps sweep runs twice per concurrency level: with the
+    result cache on (measuring the server's cache-hit throughput) and
+    bypassing it (real executions, epoch-isolated on the shared
+    executor).  Asserts every concurrent count equals the cold count.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api import RunConfig
+    from repro.service import QueryService
+
+    query, db = skew_testcase()
+    records = []
+    config = RunConfig(workers=max(WORKER_SWEEP), backend="threads",
+                       transport="pickle")
+    with QueryService(config=config,
+                      max_concurrent=max(SERVICE_CONCURRENCY)) as svc:
+        start = time.perf_counter()
+        cold = svc.execute(query, db)
+        cold_s = time.perf_counter() - start
+        assert cold.ok, f"cold service run failed: {cold.failure}"
+        warm_best = float("inf")
+        for _ in range(SERVICE_ROUNDS):
+            start = time.perf_counter()
+            warm = svc.execute(query, db)
+            warm_best = min(warm_best, time.perf_counter() - start)
+            assert warm.ok and warm.count == cold.count
+            assert warm.extra.get("result_cache") == "hit", \
+                "warm repeat missed the result cache"
+        records.append({
+            "mode": "latency", "concurrency": 1,
+            "count": cold.count,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_best,
+            "warm_speedup": cold_s / warm_best,
+        })
+
+        def one_client(use_cache):
+            for _ in range(SERVICE_ROUNDS):
+                result = svc.execute(query, db, use_cache=use_cache)
+                assert result.ok and result.count == cold.count, \
+                    f"concurrent run diverged: {result.failure}"
+            return SERVICE_ROUNDS
+
+        for cached in (True, False):
+            for concurrency in SERVICE_CONCURRENCY:
+                with ThreadPoolExecutor(concurrency) as pool:
+                    start = time.perf_counter()
+                    done = sum(pool.map(
+                        lambda _i: one_client(cached),
+                        range(concurrency)))
+                    elapsed = time.perf_counter() - start
+                records.append({
+                    "mode": "qps-cached" if cached else "qps-executed",
+                    "concurrency": concurrency,
+                    "count": cold.count,
+                    "queries": done,
+                    "seconds": elapsed,
+                    "qps": done / elapsed,
+                })
+        stats = svc.stats()
+    for rec in records:
+        rec["workers"] = config.workers
+        rec["result_cache_entries"] = stats["result_cache_entries"]
+    return records
+
+
+def report_service(records, json_path=None) -> None:
+    cores = available_parallelism()
+    rows = []
+    for r in records:
+        if r["mode"] == "latency":
+            rows.append(["latency", 1, f"{r['count']:,}",
+                         f"{r['cold_seconds']:.4f}",
+                         f"{r['warm_seconds']:.4f}",
+                         f"{r['warm_speedup']:.1f}x", "-"])
+        else:
+            rows.append([r["mode"], r["concurrency"],
+                         f"{r['count']:,}", "-", "-", "-",
+                         f"{r['qps']:.1f}"])
+    table = fmt_table(
+        ["mode", "clients", "count", "cold_s", "warm_s",
+         "warm_speedup", "qps"],
+        rows,
+        title=(f"QueryService: cold vs warm-cache latency and qps "
+               f"({SKEW_EDGES:,}-edge skew triangle, threads backend, "
+               f"{cores} usable core(s))"))
+    note = ("\nNote: 'qps-cached' serves repeats of one query from the "
+            "result cache (zero data-plane bytes per hit); "
+            "'qps-executed' bypasses it, so every request is a real "
+            "epoch-isolated execution on the shared warm executor.")
+    report("service", table + note)
+    if json_path:
+        payload = {
+            "bench": "service",
+            "skew_edges": SKEW_EDGES,
+            "rounds": SERVICE_ROUNDS,
+            "usable_cores": cores,
+            "records": records,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {json_path} ({len(records)} records)")
+
+
 def _run_once(query, db, cluster, backend, transport, workers,
               pipeline, trace_dir=None) -> dict:
     kwargs = {"hosts": REMOTE_HOSTS} if backend == "remote" else {}
@@ -340,9 +461,20 @@ def main(argv=None) -> None:
                         help="EXPLAIN ANALYZE the two kernel workloads "
                              "and write profile_<name>.json plus a "
                              "combined BENCH_profile.json into DIR")
+    parser.add_argument("--service-json", metavar="PATH", default=None,
+                        help="run the QueryService sweep (cold vs "
+                             "warm-cache latency, qps at concurrency "
+                             "1/4/8) and write the records (e.g. "
+                             "BENCH_service.json)")
+    parser.add_argument("--only-service", action="store_true",
+                        help="run only the QueryService sweep")
     args = parser.parse_args(argv)
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
+    if args.only_service or args.service_json:
+        report_service(run_service(), json_path=args.service_json)
+        if args.only_service:
+            return
     cores = available_parallelism()
     kernel_records = run_kernels()
     kernel_rows = [[r["workload"], r["kernel"], r["resolved"],

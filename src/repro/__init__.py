@@ -15,6 +15,8 @@ Public API highlights
 - :mod:`repro.runtime` — real parallel execution backends and telemetry.
 - :mod:`repro.net` — the multi-machine data plane: TCP block store,
   worker agents (``python -m repro serve``) and the ``remote`` backend.
+- :mod:`repro.service` — the multi-tenant :class:`QueryService` on a
+  shared warm :class:`ClusterContext` (``python -m repro serve-sql``).
 - :mod:`repro.workloads` — paper test-case construction.
 
 Quickstart::
@@ -27,6 +29,7 @@ Quickstart::
 """
 
 from .api import (
+    ClusterContext,
     ComparisonReport,
     EngineOptions,
     ExplainReport,
@@ -49,6 +52,7 @@ from .engines import (
 from .ghd import optimal_hypertree
 from .obs import METRICS, Tracer, configure_logging, get_logger
 from .query import Atom, JoinQuery, paper_query, parse_query
+from .service import QueryService
 from .runtime import (
     Executor,
     ProcessExecutor,
@@ -84,6 +88,8 @@ def __getattr__(name: str):
 
 __all__ = [
     "JoinSession",
+    "ClusterContext",
+    "QueryService",
     "QueryJob",
     "ExplainReport",
     "ComparisonReport",

@@ -15,11 +15,13 @@ registry, and configuration precedence (explicit > env > defaults).
 from ..engines import registry
 from ..engines.base import EngineOptions, EngineResult
 from .config import RunConfig
+from .context import ClusterContext
 from .job import ComparisonReport, ExplainReport, QueryJob
 from .session import JoinSession
 
 __all__ = [
     "JoinSession",
+    "ClusterContext",
     "QueryJob",
     "ExplainReport",
     "ComparisonReport",

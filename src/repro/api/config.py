@@ -89,6 +89,9 @@ ENV_CATALOG: tuple[str, ...] = (
     "REPRO_BIND_HOST",
     "REPRO_ADVERTISE_HOST",
     "REPRO_NET_CACHE_BYTES",
+    "REPRO_SERVICE_PORT",
+    "REPRO_RESULT_CACHE_BYTES",
+    "REPRO_MAX_CONCURRENT",
 )
 
 

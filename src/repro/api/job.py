@@ -228,6 +228,17 @@ class QueryJob:
         remote agents — carries per-query attribution.
         """
         obj = self._resolve(engine, options, **overrides)
+        # Register with the session *before* touching shared resources:
+        # session.close() waits for registered runs, so an executor or
+        # transport can never be torn down underneath this run.
+        self.session._begin_run()
+        try:
+            return self._run_resolved(obj, engine, profile)
+        finally:
+            self.session._end_run()
+
+    def _run_resolved(self, obj: Engine, engine: "str | Engine",
+                      profile: bool | None) -> EngineResult:
         executor = self.session.executor()
         tracer = self.session.tracer()
         if profile is None:

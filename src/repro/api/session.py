@@ -13,13 +13,23 @@ resources::
         result = job.run("adj")                # one engine
         report = job.compare()                 # every registered engine
 
+Resource ownership actually lives in a
+:class:`~repro.api.context.ClusterContext`: a session constructed the
+historical way creates a *private* context (same behaviour, bit for
+bit), while ``JoinSession(context=ctx)`` attaches to a shared one — many
+sessions then multiplex queries onto one warm pool, each run isolated on
+a per-query :class:`~repro.runtime.executor.ExecutorView`.
+
 Lifecycle guarantees:
 
 - the executor is created on first use only (``explain``/``estimate``
   never create one);
-- ``close()`` — and therefore ``with`` exit — tears down the executor
-  and whatever its transport published (shared-memory segments), even
-  when a worker crashed mid-run;
+- ``close()`` — and therefore ``with`` exit — waits for in-flight runs
+  (new work is refused immediately), then releases the session's hold
+  on its context; a private context tears down the executor and
+  whatever its transport published (shared-memory segments), even when
+  a worker crashed mid-run, while a shared context stays warm for its
+  other holders;
 - ``close()`` is idempotent, and a closed session refuses new work.
 """
 
@@ -36,10 +46,11 @@ from ..obs.metrics import METRICS, snapshot_delta
 from ..obs.tracing import NOOP_TRACER, Tracer, write_chrome_trace
 from ..query.parser import parse_query
 from ..query.query import JoinQuery
-from ..runtime.executor import Executor, executor_for
+from ..runtime.executor import Executor
 from ..runtime.transport import default_transport_name
 from ..workloads.generators import make_testcase
 from .config import RunConfig
+from .context import ClusterContext
 from .job import QueryJob
 
 log = get_logger("repro.api.session")
@@ -65,7 +76,8 @@ class JoinSession:
                  trace_path: str | None = None,
                  log_level: str | None = None,
                  config: RunConfig | None = None,
-                 cluster: Cluster | None = None):
+                 cluster: Cluster | None = None,
+                 context: ClusterContext | None = None):
         """Keyword arguments override ``config`` (itself env-defaulted).
 
         ``cluster`` substitutes a pre-built :class:`Cluster` (custom cost
@@ -73,7 +85,30 @@ class JoinSession:
         the config's.  Passing ``workers=``/``backend=`` that *conflict*
         with an explicit cluster is a :class:`ConfigError` — silently
         preferring one would mask the mistake.
+
+        ``context`` attaches this session to a shared
+        :class:`ClusterContext` instead of creating a private one.
+        Resource-owning knobs (``workers``, ``backend``, ``transport``,
+        ``hosts``, ``memory_tuples``, ``pipeline``, ``config``,
+        ``cluster``) then belong to the context and cannot be
+        overridden here; per-caller knobs (``samples``, ``seed``,
+        ``scale``, ``work_budget``, ``kernel``, ``profile``,
+        ``trace_path``, ``log_level``) still apply.
         """
+        if context is not None:
+            owned = {"workers": workers, "backend": backend,
+                     "transport": transport, "hosts": hosts,
+                     "memory_tuples": memory_tuples,
+                     "pipeline": pipeline,
+                     "config": config, "cluster": cluster}
+            conflicts = sorted(k for k, v in owned.items()
+                               if v is not None)
+            if conflicts:
+                raise ConfigError(
+                    f"{', '.join(conflicts)} cannot be set when "
+                    f"attaching to a shared ClusterContext — resource "
+                    f"ownership belongs to the context")
+            config = context.config
         if cluster is not None:
             if workers is not None and workers != cluster.num_workers:
                 raise ConfigError(
@@ -93,12 +128,21 @@ class JoinSession:
         if cluster is not None:
             self.config = self.config.replace(
                 workers=cluster.num_workers, backend=cluster.runtime)
-        self._cluster = cluster or self.config.make_cluster()
-        self._executor: Executor | None = None
+        if context is not None:
+            self._context = context.acquire()
+            self._owns_context = False
+        else:
+            self._context = ClusterContext(self.config,
+                                           cluster=cluster).acquire()
+            self._owns_context = True
+        self._cluster = self._context.cluster
         self._tracer: Tracer | None = None
-        self._query_seq = 0
-        self._query_seq_lock = threading.Lock()
         self._closed = False
+        # In-flight run accounting: close() waits on this condition so
+        # a run that already started can never have its transport torn
+        # down underneath it (the close()-vs-run() race).
+        self._run_cond = threading.Condition()
+        self._active_runs = 0
         if self.config.log_level is not None:
             configure_logging(self.config.log_level)
 
@@ -109,9 +153,25 @@ class JoinSession:
         return self._cluster
 
     @property
+    def context(self) -> ClusterContext:
+        """The (private or shared) context owning this session's resources."""
+        return self._context
+
+    @property
+    def shared(self) -> bool:
+        """True when attached to a caller-supplied shared context."""
+        return not self._owns_context
+
+    @property
     def executor_created(self) -> bool:
         """Whether the lazy executor exists yet (telemetry/testing)."""
-        return self._executor is not None
+        return self._context.executor_created
+
+    @property
+    def _executor(self) -> Executor | None:
+        # Compatibility peephole: the base executor now lives on the
+        # context.
+        return self._context._executor
 
     @property
     def transport_label(self) -> str:
@@ -127,24 +187,37 @@ class JoinSession:
         return default_transport_name()
 
     def executor(self) -> Executor | None:
-        """The session's executor, created on first call.
+        """The executor runs should use, created on first call.
 
         Returns None on the pure-serial path (no explicit transport),
-        which keeps the historical inline evaluation.
+        which keeps the historical inline evaluation.  A private
+        session hands back the context's base executor (the historical
+        single-caller behaviour); a session attached to a *shared*
+        context gets a fresh per-query
+        :class:`~repro.runtime.executor.ExecutorView`, so concurrent
+        runs never interleave epochs.
         """
         self._check_open()
         if not self.config.uses_runtime:
             return None
-        if self._executor is None:
-            self._executor = executor_for(self._cluster,
-                                          transport=self.config.transport,
-                                          hosts=self.config.hosts,
-                                          pipeline=self.config.pipeline)
-        return self._executor
+        if self._owns_context:
+            return self._context.executor()
+        return self._context.checkout()
 
     def _check_open(self) -> None:
         if self._closed:
             raise ConfigError("this JoinSession is closed")
+
+    def _begin_run(self) -> None:
+        """Register an in-flight run (refused once close() started)."""
+        with self._run_cond:
+            self._check_open()
+            self._active_runs += 1
+
+    def _end_run(self) -> None:
+        with self._run_cond:
+            self._active_runs -= 1
+            self._run_cond.notify_all()
 
     # -- observability -------------------------------------------------------
 
@@ -188,15 +261,14 @@ class JoinSession:
         return snapshot_delta(delta_from, snapshot)
 
     def next_query_id(self, name: str | None = None) -> str:
-        """Mint the next per-session query id (``q0001:Q9``).
+        """Mint the next query id (``q0001:Q9``).
 
         ``QueryJob.run`` calls this for profiled/traced runs; the id
-        tags every span and scoped metric of that run.
+        tags every span and scoped metric of that run.  Ids are minted
+        by the context (context-wide sequence), so sessions sharing a
+        context never collide on attribution labels.
         """
-        with self._query_seq_lock:
-            self._query_seq += 1
-            seq = self._query_seq
-        return f"q{seq:04d}:{name or '?'}"
+        return self._context.next_query_id(name)
 
     def write_trace(self, path: str | None = None) -> int:
         """Write the session's Chrome-trace JSON; returns the span count.
@@ -238,18 +310,26 @@ class JoinSession:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor and its transport (idempotent).
+        """Release this session's hold on its context (idempotent).
+
+        New work is refused the moment ``close()`` is called, but runs
+        already in flight finish cleanly first — ``close()`` blocks on
+        them, so a transport can never be torn down mid-run.  A private
+        context then releases its executor and whatever the transport
+        published; a shared context stays warm for its other holders.
 
         Also flushes the session trace to ``config.trace_path`` when
         tracing was on and any spans were recorded.
         """
-        already_closed, self._closed = self._closed, True
-        if self._executor is not None:
-            try:
-                self._executor.close()
-            finally:
-                self._executor = None
-        if not already_closed:
+        with self._run_cond:
+            already_closed, self._closed = self._closed, True
+            while self._active_runs > 0:
+                self._run_cond.wait()
+        if already_closed:
+            return
+        try:
+            self._context.release()
+        finally:
             self.write_trace()
 
     def __enter__(self) -> "JoinSession":

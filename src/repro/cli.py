@@ -18,6 +18,11 @@ Examples::
     python -m repro stat 127.0.0.1:7070        # one STAT snapshot
     python -m repro top 127.0.0.1:7070,127.0.0.1:7071   # live monitor
 
+    # the query service: one warm cluster, many concurrent callers
+    python -m repro serve-sql --port 7075 --max-concurrent 8
+    python -m repro query 127.0.0.1:7075 "Q1" --dataset wb
+    python -m repro query 127.0.0.1:7075     # interactive REPL
+
 Every command goes through :class:`repro.api.JoinSession`, so the
 ``--engine`` choices come from :mod:`repro.engines.registry`, the
 ``--transport`` choices from the transport registry, and executor /
@@ -441,6 +446,174 @@ def _serve_wait(agent, max_seconds: float | None) -> None:
         time.sleep(0.2)
 
 
+def _parse_tenant_budgets(specs) -> dict[str, int] | None:
+    """``NAME=UNITS`` flags -> the service's ``tenant_budgets`` dict."""
+    budgets: dict[str, int] = {}
+    for spec in specs or ():
+        name, sep, units = spec.partition("=")
+        try:
+            budgets[name] = int(float(units))
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            raise SystemExit(
+                f"expected TENANT=UNITS (e.g. free=50000), got {spec!r}")
+    return budgets or None
+
+
+def _cmd_serve_sql(args) -> int:
+    """Stand up the query-service front door and serve until stopped."""
+    from .api import RunConfig
+    from .net.service import QueryServer, default_service_port
+    from .obs.log import configure_logging
+
+    configure_logging(args.log_level)
+    pipeline_flag = getattr(args, "pipeline", None)
+    config = RunConfig().replace(
+        workers=args.workers, backend=args.backend,
+        transport=args.transport, hosts=args.hosts, kernel=args.kernel,
+        pipeline=(None if pipeline_flag is None
+                  else pipeline_flag == "on"))
+    port = args.port if args.port is not None else default_service_port()
+    server = QueryServer(
+        host=args.host, port=port, config=config,
+        expo_port=args.expo_port,
+        max_concurrent=args.max_concurrent,
+        queue_depth=args.queue_depth,
+        tenant_budgets=_parse_tenant_budgets(args.tenant_budget),
+        budget_policy=args.budget_policy,
+        budget_window=args.budget_window,
+        result_cache_bytes=args.result_cache_bytes)
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"cannot listen on {args.host}:{port}: {exc}",
+              file=sys.stderr)
+        server.service.close()
+        return 1
+    svc = server.service
+    print(f"repro query service listening on "
+          f"{server.host}:{server.port} "
+          f"(max_concurrent={svc.max_concurrent}, "
+          f"queue_depth={svc.queue_depth}, "
+          f"policy={svc.budget_policy}, "
+          f"backend={config.backend}, pid={os.getpid()})", flush=True)
+    if args.expo_port is not None:
+        print(f"metrics exposition on "
+              f"http://{server.host}:{args.expo_port}/metrics",
+              flush=True)
+
+    def _sigterm(_signum, _frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    import signal
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        _serve_wait(server, args.max_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stats = server.service.stats()
+        server.stop()
+        print(f"query service on {server.host}:{server.port} stopped "
+              f"(plan_cache={stats['plan_cache_entries']}, "
+              f"result_cache={stats['result_cache_entries']})",
+              flush=True)
+    return 0
+
+
+def _print_wire_result(meta: dict) -> None:
+    if meta.get("ok"):
+        plane = meta.get("data_plane") or {}
+        parts = [f"count={meta['count']:,}",
+                 f"engine={meta['engine']}",
+                 f"seconds={meta['seconds']:.4f}"]
+        if meta.get("cached"):
+            parts.append("cached=yes")
+        elif plane:
+            parts.append(f"ship={_fmt_bytes(plane.get('shipped_bytes'))}")
+            parts.append(
+                f"fetch={_fmt_bytes(plane.get('fetched_bytes'))}")
+        if "tenant_remaining" in meta:
+            parts.append(f"budget_left={meta['tenant_remaining']}")
+        print("  ".join(parts))
+    else:
+        print(f"FAILED ({meta.get('failure')})")
+
+
+def _repl(client, args) -> int:
+    """The interactive loop behind bare ``repro query HOST:PORT``."""
+    import json as _json
+
+    from .errors import AdmissionError, NetError
+
+    print(f"connected to query service at {args.server} "
+          f"(max_concurrent={client.hello.get('max_concurrent')}); "
+          f"\\stats for server state, \\q to quit")
+    while True:
+        try:
+            line = input("repro> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line in (r"\q", "quit", "exit"):
+            return 0
+        if line == r"\stats":
+            print(_json.dumps({k: v for k, v in client.stats().items()
+                               if k != "metrics"}, indent=2,
+                              sort_keys=True))
+            continue
+        try:
+            meta = client.run(line, dataset=args.dataset,
+                              engine=args.engine, tenant=args.tenant,
+                              scale=args.scale, seed=args.seed,
+                              use_cache=not args.no_cache)
+        except AdmissionError as exc:
+            print(f"REJECTED ({exc.reason}): {exc}")
+            continue
+        except NetError as exc:
+            print(f"ERROR: {exc}")
+            continue
+        _print_wire_result(meta)
+
+
+def _cmd_query(args) -> int:
+    """One-shot query (or REPL) against a ``serve-sql`` endpoint."""
+    import json as _json
+
+    from .errors import AdmissionError, NetError
+    from .net.service import ServiceClient
+
+    host, port = _parse_host_port(args.server)
+    try:
+        client = ServiceClient(host, port, timeout=args.timeout)
+    except (OSError, NetError) as exc:
+        print(f"cannot reach query service at {args.server}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        if args.query_text is None:
+            return _repl(client, args)
+        try:
+            meta = client.run(args.query_text, dataset=args.dataset,
+                              engine=args.engine, tenant=args.tenant,
+                              scale=args.scale, seed=args.seed,
+                              use_cache=not args.no_cache)
+        except AdmissionError as exc:
+            print(f"REJECTED ({exc.reason}): {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(_json.dumps(meta, indent=2, sort_keys=True))
+        else:
+            _print_wire_result(meta)
+        return 0 if meta.get("ok") else 1
+    finally:
+        client.close()
+
+
 def _cmd_lint(args) -> int:
     """Run the domain lint engine (docs/static_analysis.md)."""
     import json as _json
@@ -667,6 +840,92 @@ def build_parser() -> argparse.ArgumentParser:
                          help="level for the repro.* structured loggers "
                               "(default: $REPRO_LOG or warning)")
 
+    sql_p = sub.add_parser(
+        "serve-sql", help="stand up the multi-tenant query service "
+                          "(QUERY/CANCEL/RESULT frames over one warm "
+                          "cluster)")
+    sql_p.add_argument("--port", type=int, default=None,
+                       help="port to listen on (0 picks an ephemeral "
+                            "port; default: $REPRO_SERVICE_PORT or 7075)")
+    sql_p.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    sql_p.add_argument("--workers", type=int, default=None,
+                       help="worker count for the shared cluster "
+                            "(default: $REPRO_WORKERS or 8)")
+    runtime_flags(sql_p)
+    sql_p.add_argument("--max-concurrent", type=int, default=None,
+                       dest="max_concurrent", metavar="N",
+                       help="queries executing at once (default: "
+                            "$REPRO_MAX_CONCURRENT or 4)")
+    sql_p.add_argument("--queue-depth", type=int, default=None,
+                       dest="queue_depth", metavar="N",
+                       help="admitted queries allowed to wait beyond "
+                            "the executing ones; more are rejected "
+                            "429-style (default: 2x max-concurrent)")
+    sql_p.add_argument("--tenant-budget", action="append", default=None,
+                       dest="tenant_budget", metavar="TENANT=UNITS",
+                       help="work budget for one tenant, repeatable "
+                            "(e.g. --tenant-budget free=50000)")
+    sql_p.add_argument("--budget-policy", default="reject",
+                       dest="budget_policy",
+                       choices=["reject", "queue", "downgrade"],
+                       help="what happens to an over-budget tenant's "
+                            "queries: reject them 429-style, queue "
+                            "them until the window refills, or "
+                            "downgrade them to the remaining budget "
+                            "(default: reject)")
+    sql_p.add_argument("--budget-window", type=float, default=None,
+                       dest="budget_window", metavar="SECONDS",
+                       help="refill tenant budgets every SECONDS "
+                            "(default: budgets never refill)")
+    sql_p.add_argument("--result-cache-bytes", type=int, default=None,
+                       dest="result_cache_bytes", metavar="BYTES",
+                       help="result-cache budget; 0 disables (default: "
+                            "$REPRO_RESULT_CACHE_BYTES or 64 MiB)")
+    sql_p.add_argument("--expo-port", type=int, default=None,
+                       dest="expo_port", metavar="PORT",
+                       help="also serve Prometheus-style text metrics "
+                            "over HTTP on this port (GET /metrics)")
+    sql_p.add_argument("--max-seconds", type=float, default=None,
+                       help="exit after this long (CI convenience; "
+                            "default: serve until Ctrl-C)")
+    sql_p.add_argument("--log-level", default=None, dest="log_level",
+                       choices=["debug", "info", "warning", "error"],
+                       help="level for the repro.* structured loggers "
+                            "(default: $REPRO_LOG or warning)")
+
+    query_p = sub.add_parser(
+        "query", help="run a query against a serve-sql endpoint "
+                      "(interactive REPL when QUERY is omitted)")
+    query_p.add_argument("server", metavar="HOST:PORT",
+                         help="query-service address (repro serve-sql)")
+    query_p.add_argument("query_text", nargs="?", default=None,
+                         metavar="QUERY",
+                         help="a paper query name (Q1..) or datalog "
+                              "text like 'T(a,b,c) :- R(a,b), S(b,c), "
+                              "T(a,c)'; omit for a REPL")
+    query_p.add_argument("--dataset", default="wb",
+                         choices=dataset_names(),
+                         help="graph the relations are built from "
+                              "(default: wb)")
+    query_p.add_argument("--engine", default="adj",
+                         choices=list(registry.available()))
+    query_p.add_argument("--tenant", default="default",
+                         help="tenant to account the work to "
+                              "(default: 'default')")
+    query_p.add_argument("--scale", type=float, default=None,
+                         help="dataset scale (default: the server's "
+                              "wire default, 2e-5)")
+    query_p.add_argument("--seed", type=int, default=None)
+    query_p.add_argument("--no-cache", action="store_true",
+                         dest="no_cache",
+                         help="bypass the server's result cache")
+    query_p.add_argument("--json", action="store_true",
+                         help="raw RESULT meta as JSON")
+    query_p.add_argument("--timeout", type=float, default=10.0,
+                         help="dial/handshake timeout in seconds "
+                              "(queries themselves are unbounded)")
+
     lint_p = sub.add_parser(
         "lint", help="machine-check the stack's domain invariants "
                      "(spawn safety, lazy net, lock discipline, ...)")
@@ -713,6 +972,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": _cmd_plan,
         "estimate": _cmd_estimate,
         "serve": _cmd_serve,
+        "serve-sql": _cmd_serve_sql,
+        "query": _cmd_query,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

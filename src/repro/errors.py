@@ -100,6 +100,23 @@ class BlockNotFound(NetError):
         super().__init__(f"{msg} ({detail})" if detail else msg)
 
 
+class AdmissionError(ReproError):
+    """The query service refused to admit a request (the 429 analogue).
+
+    ``reason`` says why: ``"capacity"`` (the bounded admission queue is
+    full — back off and retry) or ``"budget"`` (the tenant's work
+    budget is exhausted under the ``reject`` policy).  Admission
+    rejections are *backpressure*, not failures: the service and every
+    other tenant's queries keep running.
+    """
+
+    def __init__(self, message: str, *, reason: str = "capacity",
+                 tenant: str | None = None):
+        self.reason = reason
+        self.tenant = tenant
+        super().__init__(message)
+
+
 class BudgetExceeded(ReproError):
     """An engine exceeded its work budget.
 

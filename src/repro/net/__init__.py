@@ -16,7 +16,11 @@ real machines, behind the seams that already exist:
   repro serve``: HELLO handshake, PING heartbeats, pickled TASK frames;
 - :mod:`repro.net.executor` — :class:`RemoteExecutor`, the ``remote``
   runtime backend driving a mixed local+remote cluster from
-  ``RunConfig.hosts`` / ``REPRO_HOSTS``.
+  ``RunConfig.hosts`` / ``REPRO_HOSTS``;
+- :mod:`repro.net.service` — the :class:`QueryServer` behind ``python
+  -m repro serve-sql`` and its :class:`ServiceClient`: QUERY/CANCEL/
+  RESULT frames over a warm multi-tenant
+  :class:`~repro.service.QueryService` (see docs/service.md).
 
 See docs/net.md for the wire protocol, the handshake and the failure
 semantics, and README.md for a two-terminal loopback walkthrough.
@@ -37,6 +41,7 @@ from .executor import (
     parse_host_specs,
 )
 from .protocol import PROTOCOL_VERSION, FrameServer
+from .service import QueryServer, ServiceClient, default_service_port
 from .transport import TcpTransport
 
 __all__ = [
@@ -49,6 +54,9 @@ __all__ = [
     "TcpTransport",
     "WorkerAgent",
     "agent_stats",
+    "QueryServer",
+    "ServiceClient",
+    "default_service_port",
     "RemoteExecutor",
     "HostSpec",
     "parse_host_specs",

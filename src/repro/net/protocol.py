@@ -17,9 +17,12 @@ corrupt length prefix fails loudly instead of attempting a huge read.
 Request opcodes: HELLO (handshake), PING (heartbeat), PUT/GET/LIST/FREE
 /STAT (block store), TASK (worker agent), BYE (end of session), EXPO
 (Prometheus-style text exposition of the peer's metrics registry —
-the continuous-export opcode ``repro top`` polls).
+the continuous-export opcode ``repro top`` polls), QUERY (run one
+query on a :class:`~repro.net.service.QueryServer`) and CANCEL
+(best-effort cancel of a queued QUERY ticket).
 Response opcodes: OK (meta only), DATA (meta + payload), ERR (meta
-carries ``error`` and ``message``).
+carries ``error`` and ``message``), RESULT (a QUERY's outcome: count,
+data-plane stats, cache disposition).
 
 :class:`FrameServer` is the tiny threaded TCP server both the
 :class:`~repro.net.blockstore.BlockStoreServer` and the
@@ -45,8 +48,8 @@ from ..errors import BlockNotFound, NetError
 __all__ = [
     "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
     "OP_HELLO", "OP_PING", "OP_PUT", "OP_GET", "OP_LIST", "OP_FREE",
-    "OP_STAT", "OP_TASK", "OP_BYE", "OP_EXPO", "OP_OK", "OP_DATA",
-    "OP_ERR",
+    "OP_STAT", "OP_TASK", "OP_BYE", "OP_EXPO", "OP_QUERY", "OP_CANCEL",
+    "OP_OK", "OP_DATA", "OP_ERR", "OP_RESULT",
     "send_frame", "recv_frame", "request", "connect", "FrameServer",
 ]
 
@@ -66,9 +69,12 @@ OP_STAT = 7
 OP_TASK = 8
 OP_BYE = 9
 OP_EXPO = 10
+OP_QUERY = 11
+OP_CANCEL = 12
 OP_OK = 64
 OP_DATA = 65
 OP_ERR = 66
+OP_RESULT = 67
 
 _PREFIX = struct.Struct("!I")
 _HEADER = struct.Struct("!BI")        # opcode, meta_len

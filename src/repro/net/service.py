@@ -1,0 +1,417 @@
+"""The query service's wire front door: QUERY/CANCEL/RESULT frames.
+
+``python -m repro serve-sql --port N`` stands up a :class:`QueryServer`
+— a :class:`~repro.net.protocol.FrameServer` wrapping one warm
+:class:`~repro.service.QueryService` — and ``python -m repro query
+HOST:PORT "Q(a,b,c) :- R(a,b), S(b,c)"`` (or the bare-address REPL)
+drives it through :class:`ServiceClient`.
+
+One QUERY frame runs one query.  The request meta carries either a
+paper-catalog name (``{"query": "Q1", "dataset": "wb"}``) or datalog
+text, plus engine/tenant/cache knobs; the RESULT reply meta carries the
+count, the per-query ``data_plane`` stats and the cache disposition —
+counts only, so no payload bytes.  Concurrency comes from connections:
+the server handles each connection on its own thread (the
+:class:`FrameServer` model), and the service underneath bounds actual
+execution at ``max_concurrent`` with ``queue_depth`` more waiting.
+
+Backpressure on the wire: an :class:`~repro.errors.AdmissionError`
+becomes an ERR frame with ``error="admission-rejected"`` and
+``status=429`` — :class:`ServiceClient` converts it back into an
+:class:`AdmissionError`, so callers see the same exception locally and
+remotely.  CANCEL is best-effort: it can only stop a ticket that is
+still waiting for a driver slot (meta ``{"cancelled": bool}`` says
+whether it won the race).
+
+The server also answers HELLO/PING/STAT/EXPO like every other repro.net
+service, so ``repro top`` and the CI scraper work unchanged against a
+query server; ``--expo-port`` additionally serves the Prometheus text
+over HTTP.
+
+Same trust model as the rest of repro.net: bind to loopback or a
+private interface (queries are parsed, never unpickled, but the
+service is still a cluster-internal tool, not a hardened endpoint).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+from concurrent.futures import CancelledError, Future
+
+from ..data.datasets import load_dataset
+from ..engines.base import EngineResult
+from ..errors import AdmissionError, ConfigError, NetError
+from ..obs.expo import CONTENT_TYPE_TEXT, prometheus_text, \
+    start_http_exposition
+from ..obs.log import get_logger, kv
+from ..obs.metrics import METRICS
+from ..query.catalog import PAPER_QUERIES
+from ..query.parser import parse_query
+from ..service import QueryService
+from ..workloads.generators import graph_database_for, make_testcase
+from .protocol import (
+    OP_BYE,
+    OP_CANCEL,
+    OP_DATA,
+    OP_ERR,
+    OP_EXPO,
+    OP_HELLO,
+    OP_OK,
+    OP_PING,
+    OP_QUERY,
+    OP_RESULT,
+    OP_STAT,
+    PROTOCOL_VERSION,
+    FrameServer,
+    connect,
+    request,
+    send_frame,
+)
+
+__all__ = ["QueryServer", "ServiceClient", "SERVICE_PORT_ENV_VAR",
+           "default_service_port", "result_to_meta"]
+
+log = get_logger("repro.net.service")
+
+#: Environment variable for the default ``repro serve-sql`` port.
+SERVICE_PORT_ENV_VAR = "REPRO_SERVICE_PORT"
+
+_DEFAULT_SERVICE_PORT = 7075
+
+#: Dataset scale used when a QUERY frame names no scale — matches the
+#: CLI's interactive default so ad-hoc queries finish in seconds.
+DEFAULT_WIRE_SCALE = 2e-5
+
+
+def default_service_port() -> int:
+    """Port for ``repro serve-sql`` from ``REPRO_SERVICE_PORT``."""
+    raw = os.environ.get(SERVICE_PORT_ENV_VAR)
+    if raw is None:
+        return _DEFAULT_SERVICE_PORT
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ConfigError(f"{SERVICE_PORT_ENV_VAR} must be an integer, "
+                          f"got {raw!r}") from None
+    if not 0 <= port <= 65535:
+        raise ConfigError(f"{SERVICE_PORT_ENV_VAR} must be a port "
+                          f"number, got {raw!r}")
+    return port
+
+
+def result_to_meta(result: EngineResult) -> dict:
+    """The JSON-safe RESULT meta for one finished run (counts only)."""
+    b = result.breakdown
+    meta = {
+        "ok": result.ok,
+        "engine": result.engine,
+        "query": result.query,
+        "count": result.count,
+        "failure": result.failure,
+        "rounds": result.rounds,
+        "seconds": b.total,
+        "breakdown": {"optimization": b.optimization,
+                      "precompute": b.precompute,
+                      "communication": b.communication,
+                      "computation": b.computation},
+        "cached": result.extra.get("result_cache") == "hit",
+    }
+    if result.data_plane is not None:
+        meta["data_plane"] = dict(result.data_plane)
+    if result.measured_seconds is not None:
+        meta["measured_seconds"] = result.measured_seconds
+    for key in ("query_id", "leapfrog_work"):
+        if key in result.extra:
+            meta[key] = result.extra[key]
+    return meta
+
+
+class QueryServer(FrameServer):
+    """Serves HELLO/PING/QUERY/CANCEL/STAT/EXPO/BYE over one warm
+    :class:`~repro.service.QueryService`.
+
+    Construct with an existing ``service`` to share it, or let the
+    server own a fresh one built from ``config`` and
+    ``service_kwargs`` (tenant budgets, concurrency bounds...).  Test
+    cases are cached per ``(query, dataset, scale, seed)``, so a
+    repeated QUERY hits the same :class:`~repro.data.database.Database`
+    object — its memoized fingerprint makes the service's result cache
+    effective over the wire too.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 service: QueryService | None = None, config=None,
+                 expo_port: int | None = None, **service_kwargs):
+        super().__init__(host, port)
+        self._owns_service = service is None
+        self.service = service or QueryService(config=config,
+                                               **service_kwargs)
+        #: When set, ``start()`` also serves the Prometheus exposition
+        #: over HTTP (``repro serve-sql --expo-port``).
+        self.expo_port = expo_port
+        self._expo_server = None
+        self._cases: dict[tuple, tuple] = {}
+        self._cases_lock = threading.Lock()
+        self._tickets: "dict[str, Future]" = {}
+        self._ticket_seq = itertools.count()
+        self._tickets_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "QueryServer":
+        super().start()
+        if self.expo_port is not None:
+            self._expo_server = start_http_exposition(
+                self.host, self.expo_port, self.exposition)
+        log.info("query server listening %s",
+                 kv(host=self.host, port=self.port,
+                    max_concurrent=self.service.max_concurrent,
+                    pid=os.getpid(), expo_port=self.expo_port))
+        return self
+
+    def stop(self) -> None:
+        was_running = self.running
+        server, self._expo_server = self._expo_server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        super().stop()
+        if self._owns_service:
+            self.service.close()
+        if was_running:
+            log.info("query server stopped %s", kv(port=self.port))
+
+    def exposition(self) -> str:
+        """Prometheus text: process metrics plus live service gauges."""
+        stats = self.service.stats()
+        return prometheus_text(METRICS, extra={
+            "service_active": stats["active"],
+            "service_queued": stats["queued"],
+            "service_max_concurrent": stats["max_concurrent"],
+        })
+
+    # -- query resolution ----------------------------------------------------
+
+    def _resolve_case(self, meta: dict) -> tuple:
+        """(query, db) for a QUERY frame, cached for object identity."""
+        text = meta.get("query")
+        if not text or not isinstance(text, str):
+            raise ConfigError("QUERY meta needs a 'query' string (a "
+                              "paper query name or datalog text)")
+        dataset = meta.get("dataset", "wb")
+        scale = meta.get("scale")
+        if scale is None:
+            scale = DEFAULT_WIRE_SCALE
+        seed = meta.get("seed")
+        key = (text, dataset, scale, seed)
+        with self._cases_lock:
+            case = self._cases.get(key)
+        if case is not None:
+            return case
+        if text.upper() in PAPER_QUERIES:
+            query, db = make_testcase(dataset, text.upper(), scale=scale,
+                                      seed=seed)
+        else:
+            query = parse_query(text)
+            edges = load_dataset(dataset, scale=scale, seed=seed)
+            db = graph_database_for(query, edges)
+        with self._cases_lock:
+            # First resolver wins so every connection shares one
+            # Database object (memoized fingerprint).
+            case = self._cases.setdefault(key, (query, db))
+        return case
+
+    # -- frame handling ------------------------------------------------------
+
+    def _handle_query(self, sock: socket.socket, meta: dict) -> None:
+        ticket = str(meta.get("id") or f"t{next(self._ticket_seq)}")
+        try:
+            query, db = self._resolve_case(meta)
+            future = self.service.submit(
+                query, db,
+                engine=meta.get("engine", "adj"),
+                tenant=meta.get("tenant", "default"),
+                use_cache=bool(meta.get("use_cache", True)),
+                profile=bool(meta.get("profile", False)))
+        except AdmissionError as exc:
+            METRICS.counter("service.wire_rejected").inc()
+            send_frame(sock, OP_ERR, {
+                "error": "admission-rejected", "message": str(exc),
+                "reason": exc.reason, "tenant": exc.tenant,
+                "status": 429, "id": ticket})
+            return
+        with self._tickets_lock:
+            self._tickets[ticket] = future
+        try:
+            result = future.result()
+        except CancelledError:
+            send_frame(sock, OP_ERR, {"error": "cancelled",
+                                      "message": f"ticket {ticket} was "
+                                                 f"cancelled while "
+                                                 f"queued",
+                                      "id": ticket})
+            return
+        except AdmissionError as exc:
+            # The queue/no-window budget policies reject from the
+            # driver thread, after admission.
+            METRICS.counter("service.wire_rejected").inc()
+            send_frame(sock, OP_ERR, {
+                "error": "admission-rejected", "message": str(exc),
+                "reason": exc.reason, "tenant": exc.tenant,
+                "status": 429, "id": ticket})
+            return
+        finally:
+            with self._tickets_lock:
+                self._tickets.pop(ticket, None)
+        reply = result_to_meta(result)
+        reply["id"] = ticket
+        remaining = self.service.tenant_remaining(
+            meta.get("tenant", "default"))
+        if remaining is not None:
+            reply["tenant_remaining"] = remaining
+        send_frame(sock, OP_RESULT, reply)
+
+    def handle(self, sock: socket.socket, op: int, meta: dict,
+               payload: bytes) -> bool:
+        if op == OP_HELLO:
+            send_frame(sock, OP_OK, {"version": PROTOCOL_VERSION,
+                                     "service": "query-service",
+                                     "max_concurrent":
+                                         self.service.max_concurrent,
+                                     "engines": "registry",
+                                     "pid": os.getpid()})
+        elif op == OP_PING:
+            send_frame(sock, OP_OK, {"pid": os.getpid()})
+        elif op == OP_QUERY:
+            self._handle_query(sock, meta)
+        elif op == OP_CANCEL:
+            ticket = str(meta.get("id", ""))
+            with self._tickets_lock:
+                future = self._tickets.get(ticket)
+            cancelled = future.cancel() if future is not None else False
+            if cancelled:
+                METRICS.counter("service.wire_cancelled").inc()
+            send_frame(sock, OP_OK, {"id": ticket,
+                                     "cancelled": cancelled})
+        elif op == OP_STAT:
+            stats = self.service.stats()
+            stats["service"] = "query-service"
+            stats["pid"] = os.getpid()
+            stats["metrics"] = METRICS.snapshot()
+            send_frame(sock, OP_OK, stats)
+        elif op == OP_EXPO:
+            send_frame(sock, OP_DATA,
+                       {"content_type": CONTENT_TYPE_TEXT},
+                       self.exposition().encode())
+        elif op == OP_BYE:
+            send_frame(sock, OP_OK, {})
+            return False
+        else:
+            send_frame(sock, OP_ERR,
+                       {"error": "unknown-op",
+                        "message": f"opcode {op} is not a query-service "
+                                   f"op"})
+        return True
+
+
+class ServiceClient:
+    """One connection to a :class:`QueryServer`.
+
+    :meth:`run` is synchronous — QUERY out, RESULT back — so drive
+    concurrency with one client per thread (connections are cheap;
+    the server bounds actual execution).  Admission rejections raise
+    :class:`~repro.errors.AdmissionError` exactly like the in-process
+    service; every other ERR raises :class:`~repro.errors.NetError`.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: float | None = 10.0):
+        self.host = host
+        self.port = port
+        self._sock = connect(host, port, timeout=timeout)
+        try:
+            _op, self.hello, _payload = request(self._sock, OP_HELLO, {})
+            if self.hello.get("service") != "query-service":
+                raise NetError(
+                    f"{host}:{port} is a "
+                    f"{self.hello.get('service', 'unknown')!r} "
+                    f"endpoint, not a query service")
+        except BaseException:
+            self._sock.close()
+            raise
+        # Queries may legitimately run for minutes; only the dial and
+        # handshake above are bounded.
+        self._sock.settimeout(None)
+
+    def run(self, query: str, dataset: str = "wb", *,
+            engine: str = "adj", tenant: str = "default",
+            scale: float | None = None, seed: int | None = None,
+            use_cache: bool = True, profile: bool = False,
+            ticket: str | None = None) -> dict:
+        """Run one query (paper name or datalog text); RESULT meta back."""
+        meta = {"query": query, "dataset": dataset, "engine": engine,
+                "tenant": tenant, "use_cache": use_cache,
+                "profile": profile}
+        if scale is not None:
+            meta["scale"] = scale
+        if seed is not None:
+            meta["seed"] = seed
+        if ticket is not None:
+            meta["id"] = ticket
+        try:
+            op, reply, _payload = request(self._sock, OP_QUERY, meta)
+        except NetError as exc:
+            err = getattr(exc, "meta", None) or {}
+            if err.get("error") == "admission-rejected":
+                raise AdmissionError(
+                    err.get("message", str(exc)),
+                    reason=err.get("reason", "capacity"),
+                    tenant=err.get("tenant")) from None
+            raise
+        if op != OP_RESULT:
+            raise NetError(f"expected RESULT reply, got opcode {op}")
+        return reply
+
+    def cancel(self, ticket: str, timeout: float | None = 10.0) -> bool:
+        """Best-effort cancel of a queued ticket.
+
+        Uses its own short-lived connection, so it works while this
+        client (or any other) is blocked inside :meth:`run`.
+        """
+        sock = connect(self.host, self.port, timeout=timeout)
+        try:
+            _op, meta, _payload = request(sock, OP_CANCEL, {"id": ticket})
+            send_frame(sock, OP_BYE, {})
+            return bool(meta.get("cancelled"))
+        finally:
+            sock.close()
+
+    def stats(self) -> dict:
+        """The server's live :meth:`QueryService.stats` snapshot."""
+        _op, meta, _payload = request(self._sock, OP_STAT, {})
+        return meta
+
+    def expo(self) -> str:
+        """One Prometheus-text scrape over the frame protocol."""
+        _op, _meta, payload = request(self._sock, OP_EXPO, {})
+        return payload.decode()
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            send_frame(sock, OP_BYE, {})
+        except OSError:
+            pass
+        finally:
+            sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

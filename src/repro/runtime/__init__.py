@@ -18,6 +18,7 @@ rules.
 from .executor import (
     PIPELINE_ENV_VAR,
     Executor,
+    ExecutorView,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -64,6 +65,7 @@ from .worker import (
 
 __all__ = [
     "Executor",
+    "ExecutorView",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",

@@ -64,6 +64,7 @@ from .transport import Transport, create_transport
 
 __all__ = [
     "Executor",
+    "ExecutorView",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
@@ -239,14 +240,23 @@ class _PoolExecutor(Executor):
         super().__init__(max_workers, transport=transport,
                          pipeline=pipeline)
         self._pool = None
+        # Guards pool creation/teardown: concurrent queries sharing one
+        # warm executor (through ExecutorViews) may race to the first
+        # map_tasks call; without the lock two pools get built and one
+        # leaks its worker threads/processes.  Reentrant because a
+        # failing ``_make_pool`` (e.g. RemoteExecutor with an
+        # unreachable host) cleans up via ``close`` -> ``_shutdown_pool``
+        # while ``_ensure_pool`` still holds the lock.
+        self._pool_lock = threading.RLock()
 
     def _make_pool(self):  # pragma: no cover - overridden
         raise NotImplementedError
 
     def _ensure_pool(self):
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
 
     def setup(self) -> None:
         super().setup()
@@ -257,9 +267,26 @@ class _PoolExecutor(Executor):
         stays alive, because the *engine* owns the epoch and must be able
         to tear it down itself and read real ``last_epoch`` stats even
         after a failed run."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def _raise_if_cancelled(self, futures) -> None:
+        """Surface cross-run cancellation as a clean WorkerCrashed.
+
+        When a *concurrent* run on the same shared pool crashes, its
+        ``_shutdown_pool`` cancels every pending future — including
+        ours.  A cancelled future holds no exception, so the
+        FIRST_EXCEPTION scan misses it and ``result()`` would leak a
+        raw ``CancelledError`` out of the failure contract.
+        """
+        cancelled = next((f for f in futures if f.cancelled()), None)
+        if cancelled is not None:
+            raise WorkerCrashed(
+                futures.index(cancelled),
+                "task cancelled: the shared pool was shut down by a "
+                "concurrent failure")
 
     def _raise_failure(self, futures, failed) -> None:
         """Re-raise a failed future per the shared failure contract."""
@@ -304,6 +331,7 @@ class _PoolExecutor(Executor):
                 for f in pending:
                     f.cancel()
                 self._raise_failure(futures, failed)
+            self._raise_if_cancelled(futures)
             # No exception => FIRST_EXCEPTION degenerated to
             # ALL_COMPLETED, so every result is ready and result()
             # cannot block.
@@ -352,6 +380,7 @@ class _PoolExecutor(Executor):
                 for f in pending:
                     f.cancel()
                 self._raise_failure(futures, failed)
+            self._raise_if_cancelled(futures)
             for future in futures:
                 yield future.result()
 
@@ -390,6 +419,64 @@ class ProcessExecutor(_PoolExecutor):
                if self.start_method else None)
         return ProcessPoolExecutor(max_workers=self.max_workers,
                                    mp_context=ctx)
+
+
+class ExecutorView(Executor):
+    """Per-query view of a shared executor: same pool, private data plane.
+
+    Every engine run assumes exclusive use of ``executor.transport`` —
+    publish an epoch, tear it down in ``finally``, read the frozen
+    ``last_epoch`` counters.  A warm cluster serving concurrent queries
+    breaks that single-run assumption, so each query gets a *view*:
+    ``map_tasks``/``submit_tasks`` delegate to the shared base executor
+    (one worker pool, amortized across queries) while :attr:`transport`
+    is a private instance stamped with a per-query epoch id.  Published
+    blocks, :class:`~repro.runtime.transport.TransportStats` and the
+    frozen ``last_epoch`` of interleaved queries therefore never mix,
+    and engines need no changes to run concurrently.
+
+    ``teardown()``/``close()`` release only the view's own transport;
+    the shared pool (and whatever transport the base executor may own)
+    stays warm for the next query.
+    """
+
+    def __init__(self, base: Executor, transport: "Transport | str | None"
+                 = None, epoch: str | None = None):
+        super().__init__(base.max_workers, transport=transport,
+                         pipeline=base.pipeline)
+        self._base = base
+        self.name = base.name
+        self.concurrent = base.concurrent
+        self.epoch = epoch
+        if epoch is not None:
+            self.transport.epoch = epoch
+
+    @property
+    def base(self) -> Executor:
+        """The shared executor this view delegates execution to."""
+        return self._base
+
+    def map_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]
+                  ) -> list[R]:
+        return self._base.map_tasks(fn, tasks)
+
+    def submit_tasks(self, fn: Callable[[T], R], tasks: Iterable[T]
+                     ) -> Iterator[R]:
+        return self._base.submit_tasks(fn, tasks)
+
+    def setup(self) -> None:
+        # Only the view's own transport: the base pool is built lazily
+        # (and thread-safely) on first use, and eagerly creating a
+        # transport the base never publishes through would be waste.
+        self.transport.setup()
+
+    def close(self) -> None:
+        # Deliberately *not* base.close(): the context owns the pool.
+        self.teardown()
+
+    def __repr__(self) -> str:
+        return (f"ExecutorView(base={self._base!r}, "
+                f"epoch={self.epoch!r})")
 
 
 _BACKENDS: dict[str, type[Executor]] = {

@@ -102,12 +102,17 @@ def iter_routed_tasks(routing: HCubeRouting, db: Database,
     order = tuple(order)
     num_atoms = len(query.atoms)
     keys: dict[int, str] = {}
+    # Per-query epoch id (stamped on ExecutorView transports): namespace
+    # publish keys so interleaved epochs from concurrent queries sharing
+    # one staging area never collide.
+    epoch = getattr(transport, "epoch", None)
+    prefix = f"{epoch}/" if epoch else ""
 
     def key_for(ai: int) -> str:
         key = keys.get(ai)
         if key is None:
             atom = query.atoms[ai]
-            key = transport.publish(f"rel:{atom.relation}",
+            key = transport.publish(f"{prefix}rel:{atom.relation}",
                                     db[atom.relation].data)
             keys[ai] = key
         return key

@@ -242,6 +242,11 @@ class Transport(ABC):
         #: Serializes publish/make_ref/teardown across coordinator
         #: threads (see class docstring).
         self._lock = threading.RLock()
+        #: Optional per-query epoch id (stamped by
+        #: :class:`repro.runtime.executor.ExecutorView`).  The scheduler
+        #: prefixes publish keys with it, so queries running concurrently
+        #: against one shared staging area never collide on key names.
+        self.epoch: str | None = None
 
     def setup(self) -> None:
         """Acquire transport resources (idempotent; optional)."""

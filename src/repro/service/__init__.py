@@ -1,0 +1,42 @@
+"""repro.service — the multi-tenant query service layer.
+
+Builds the shared warm-cluster story on top of
+:class:`~repro.api.context.ClusterContext`::
+
+    from repro.service import QueryService
+
+    with QueryService(max_concurrent=8,
+                      tenant_budgets={"free": 50_000}) as svc:
+        future = svc.submit("Q(a,b,c) :- R(a,b), S(b,c)", db,
+                            engine="adj", tenant="free")
+        result = future.result()
+
+:class:`QueryService` provides bounded admission, per-tenant work
+budgets (reject / queue / downgrade policies), a GHD plan cache and a
+fingerprint-keyed result cache.  The wire front door lives in
+:mod:`repro.net.service` (``repro serve-sql`` / ``repro query``); see
+docs/service.md for the architecture tour.
+"""
+
+from ..api.context import ClusterContext
+from ..errors import AdmissionError
+from .cache import PlanCache, ResultCache, plan_key, result_key
+from .service import (BUDGET_POLICIES, MAX_CONCURRENT_ENV_VAR,
+                      RESULT_CACHE_ENV_VAR, QueryRequest, QueryService,
+                      default_max_concurrent, default_result_cache_bytes)
+
+__all__ = [
+    "QueryService",
+    "QueryRequest",
+    "ClusterContext",
+    "AdmissionError",
+    "PlanCache",
+    "ResultCache",
+    "plan_key",
+    "result_key",
+    "BUDGET_POLICIES",
+    "MAX_CONCURRENT_ENV_VAR",
+    "RESULT_CACHE_ENV_VAR",
+    "default_max_concurrent",
+    "default_result_cache_bytes",
+]

@@ -72,6 +72,66 @@ class TestDatabase:
         assert db.names == ("B", "A")
 
 
+class TestFingerprint:
+    def test_stable_across_equal_content(self):
+        a = Database([rel("R", rows=[(1, 2), (3, 4)]), rel("S")])
+        b = Database([rel("R", rows=[(1, 2), (3, 4)]), rel("S")])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_insertion_order_irrelevant(self):
+        a = Database([rel("R"), rel("S")])
+        b = Database([rel("S"), rel("R")])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_memoized(self):
+        db = Database([rel("R")])
+        assert db.fingerprint() is db.fingerprint()
+
+    def test_data_changes_fingerprint(self):
+        a = Database([rel("R", rows=[(1, 2)])])
+        b = Database([rel("R", rows=[(1, 3)])])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_name_changes_fingerprint(self):
+        a = Database([rel("R")])
+        b = Database([rel("S")])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_attributes_change_fingerprint(self):
+        a = Database([rel("R", attrs=("a", "b"))])
+        b = Database([rel("R", attrs=("x", "y"))])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_add_invalidates(self):
+        db = Database([rel("R")])
+        before = db.fingerprint()
+        db.add(rel("S"))
+        assert db.fingerprint() != before
+
+    def test_replace_invalidates(self):
+        db = Database([rel("R")])
+        before = db.fingerprint()
+        db.replace(rel("R", rows=[(9, 9)]))
+        assert db.fingerprint() != before
+
+    def test_remove_invalidates(self):
+        db = Database([rel("R"), rel("S")])
+        before = db.fingerprint()
+        db.remove("S")
+        assert db.fingerprint() != before
+        assert db.fingerprint() == Database([rel("R")]).fingerprint()
+
+    def test_attribute_boundaries_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        a = Database([Relation.from_tuples("R", ("ab", "c"), [(1, 2)])])
+        b = Database([Relation.from_tuples("R", ("a", "bc"), [(1, 2)])])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_empty_database(self):
+        assert Database().fingerprint() == Database().fingerprint()
+        assert Database().fingerprint() != Database([rel("R")]).fingerprint()
+
+
 class TestGenerators:
     def test_power_law_shape_and_dedup(self):
         edges = generate_power_law_edges(300, seed=1)
